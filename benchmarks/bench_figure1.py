@@ -1,0 +1,74 @@
+"""Figure 1 regeneration bench: waste ratio vs. bandwidth on Cielo.
+
+The bench runs a laptop-scale version of the paper's Figure 1 sweep (fewer
+bandwidth points, shorter segment, fewer Monte-Carlo repetitions) and prints
+the same rows the paper plots: one row per bandwidth, one column per
+strategy plus the theoretical model.  The *shape* is checked programmatically:
+
+* the blocking Fixed strategies are the worst at the lowest bandwidth;
+* the cooperative strategies (Ordered-NB, Least-Waste) are within a few
+  points of the theoretical lower bound;
+* every strategy improves (or stays flat) when the bandwidth quadruples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import Figure1Config, render_figure1, run_figure1
+
+#: Laptop-scale stand-in for the paper's 40-160 GB/s sweep.
+_CONFIG = Figure1Config(
+    bandwidths_gbs=(40.0, 160.0),
+    node_mtbf_years=2.0,
+    horizon_days=3.0,
+    warmup_days=0.5,
+    cooldown_days=0.5,
+    num_runs=2,
+    base_seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1_result():
+    return run_figure1(_CONFIG)
+
+
+def test_bench_figure1_sweep(benchmark, figure1_result):
+    """Time the full Figure 1 sweep and print the reproduced series."""
+    result = benchmark.pedantic(run_figure1, args=(_CONFIG,), rounds=1, iterations=1)
+    print()
+    print(render_figure1(result))
+
+    low = 0  # index of the 40 GB/s column
+    high = len(result.parameter_values) - 1
+    waste_low = {s: result.waste[s][low].mean for s in result.strategies}
+    waste_high = {s: result.waste[s][high].mean for s in result.strategies}
+
+    # Blocking + hourly checkpointing saturates the constrained file system.
+    assert waste_low["oblivious-fixed"] > 0.55
+    assert waste_low["ordered-fixed"] > 0.55
+    # Cooperative strategies approach the theoretical bound at 40 GB/s.
+    assert waste_low["least-waste"] <= result.theory[low] + 0.12
+    assert waste_low["orderednb-daly"] <= result.theory[low] + 0.12
+    # The cooperative strategies beat the oblivious baseline by a wide margin.
+    assert waste_low["least-waste"] < 0.5 * waste_low["oblivious-fixed"]
+    # More bandwidth never hurts (within noise).
+    for strategy in result.strategies:
+        assert waste_high[strategy] <= waste_low[strategy] + 0.05
+
+
+def test_bench_figure1_single_point(benchmark):
+    """Time a single Figure 1 cell (one bandwidth, all strategies)."""
+    config = Figure1Config(
+        bandwidths_gbs=(80.0,),
+        horizon_days=2.0,
+        warmup_days=0.5,
+        cooldown_days=0.5,
+        num_runs=1,
+        base_seed=3,
+    )
+    result = benchmark.pedantic(run_figure1, args=(config,), rounds=1, iterations=1)
+    assert len(result.parameter_values) == 1
+    for strategy in result.strategies:
+        assert 0.0 <= result.waste[strategy][0].mean <= 1.0

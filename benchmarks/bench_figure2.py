@@ -1,0 +1,81 @@
+"""Figure 2 regeneration bench: waste ratio vs. node MTBF at 40 GB/s.
+
+Reduced-scale version of the paper's Figure 2 (two MTBF points instead of
+the full 2-50 year axis).  Shape checks:
+
+* the blocking Fixed strategies stay saturated (high waste) regardless of
+  the MTBF — the constrained file system, not the failures, is their
+  bottleneck;
+* the Daly-based cooperative strategies approach the theoretical bound once
+  failures become rare;
+* every strategy is at least as good at a 20-year node MTBF as at 2 years.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
+
+_CONFIG = Figure2Config(
+    node_mtbf_years=(2.0, 20.0),
+    bandwidth_gbs=40.0,
+    horizon_days=3.0,
+    warmup_days=0.5,
+    cooldown_days=0.5,
+    num_runs=2,
+    base_seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return run_figure2(_CONFIG)
+
+
+def test_bench_figure2_sweep(benchmark, figure2_result):
+    """Time the full Figure 2 sweep and print the reproduced series."""
+    result = benchmark.pedantic(run_figure2, args=(_CONFIG,), rounds=1, iterations=1)
+    print()
+    print(render_figure2(result))
+
+    low_mtbf = 0
+    high_mtbf = len(result.parameter_values) - 1
+    # Fixed blocking strategies remain expensive even when failures are rare:
+    # their cost is dominated by checkpoint I/O pressure, not by failures.
+    assert result.waste["oblivious-fixed"][high_mtbf].mean > 0.35
+    assert result.waste["ordered-fixed"][high_mtbf].mean > 0.35
+    # Cooperative Daly strategies come close to the theoretical bound at the
+    # reliable end of the axis.
+    assert (
+        result.waste["least-waste"][high_mtbf].mean
+        <= result.theory[high_mtbf] + 0.10
+    )
+    assert (
+        result.waste["orderednb-daly"][high_mtbf].mean
+        <= result.theory[high_mtbf] + 0.10
+    )
+    # Reliability never hurts.
+    for strategy in result.strategies:
+        assert (
+            result.waste[strategy][high_mtbf].mean
+            <= result.waste[strategy][low_mtbf].mean + 0.05
+        )
+
+
+def test_bench_figure2_reliable_point(benchmark):
+    """Time a single highly-reliable configuration (50-year node MTBF)."""
+    config = Figure2Config(
+        node_mtbf_years=(50.0,),
+        bandwidth_gbs=40.0,
+        horizon_days=2.0,
+        warmup_days=0.5,
+        cooldown_days=0.5,
+        num_runs=1,
+        base_seed=5,
+    )
+    result = benchmark.pedantic(run_figure2, args=(config,), rounds=1, iterations=1)
+    # With failures this rare, the Daly cooperative strategies should be well
+    # under 20% waste.
+    assert result.waste["least-waste"][0].mean < 0.2
+    assert result.waste["orderednb-daly"][0].mean < 0.2

@@ -1,0 +1,73 @@
+"""Figure 3 regeneration bench: minimum bandwidth for 80 % efficiency.
+
+Reduced-scale version of the paper's Figure 3 on the prospective
+50 000-node / 7 PB system: a single node-MTBF point and a subset of
+strategies (the naive blocking baseline, the blocking Daly variant and the
+two cooperative strategies), with a coarse bandwidth bisection.
+
+Shape checks:
+
+* the uncoordinated hourly baseline needs several times the bandwidth of the
+  cooperative Least-Waste strategy to reach the same 80 % efficiency;
+* Ordered-NB-Daly and Least-Waste land within the search resolution of each
+  other and of the theoretical model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
+
+_CONFIG = Figure3Config(
+    node_mtbf_years=(15.0,),
+    strategies=("oblivious-fixed", "ordered-daly", "orderednb-daly", "least-waste"),
+    horizon_days=2.0,
+    warmup_days=0.25,
+    cooldown_days=0.25,
+    num_runs=1,
+    base_seed=13,
+    search_lo_tbs=0.2,
+    search_hi_tbs=60.0,
+    search_iterations=5,
+)
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return run_figure3(_CONFIG)
+
+
+def test_bench_figure3_sizing(benchmark, figure3_result):
+    """Time the Figure 3 sizing study and print the reproduced table."""
+    result = benchmark.pedantic(run_figure3, args=(_CONFIG,), rounds=1, iterations=1)
+    print()
+    print(render_figure3(result))
+
+    naive = result.min_bandwidth_tbs["oblivious-fixed"][0]
+    coop = result.min_bandwidth_tbs["least-waste"][0]
+    ordered_nb = result.min_bandwidth_tbs["orderednb-daly"][0]
+    theory = result.theory_tbs[0]
+
+    # Cooperation reduces the required I/O bandwidth by a large factor.
+    assert naive >= 2.0 * coop
+    # The two cooperative strategies need comparable bandwidth.
+    assert ordered_nb <= 2.0 * coop and coop <= 2.0 * ordered_nb
+    # Nothing beats the theoretical model by more than the search resolution.
+    assert coop >= 0.5 * theory
+
+
+def test_bench_figure3_theory_only(benchmark):
+    """Time the analytical part alone (bandwidth sizing of the lower bound)."""
+
+    def theory_sizing() -> float:
+        config = Figure3Config(
+            node_mtbf_years=(5.0, 15.0, 25.0),
+            strategies=(),
+            search_iterations=5,
+        )
+        result = run_figure3(config)
+        return result.theory_tbs[-1]
+
+    value = benchmark(theory_sizing)
+    assert value > 0.0

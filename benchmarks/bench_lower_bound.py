@@ -1,0 +1,58 @@
+"""Benchmarks of the analytical lower bound (Theorem 1).
+
+These cover the "theoretical model" curves used in every figure: the
+unconstrained Young/Daly regime, the constrained regime where the KKT
+multiplier must be found numerically, and a bandwidth sweep matching the
+Figure 1 axis.
+"""
+
+from __future__ import annotations
+
+from repro.core.lower_bound import platform_lower_bound
+from repro.experiments.theory import steady_state_classes, theoretical_waste
+from repro.workloads.apex import apex_workload
+from repro.workloads.cielo import cielo_platform
+
+
+def test_bench_lower_bound_unconstrained(benchmark):
+    """Lower bound when the Daly periods already satisfy the I/O constraint."""
+    platform = cielo_platform(bandwidth_gbs=160.0)
+    workload = apex_workload(platform)
+    classes = steady_state_classes(workload, platform)
+    result = benchmark(
+        platform_lower_bound, classes, float(platform.num_nodes), platform.node_mtbf_s
+    )
+    assert not result.constrained
+    assert result.lam == 0.0
+
+
+def test_bench_lower_bound_constrained(benchmark):
+    """Lower bound when lambda must be found numerically (scarce bandwidth)."""
+    platform = cielo_platform(bandwidth_gbs=10.0)
+    workload = apex_workload(platform)
+    classes = steady_state_classes(workload, platform)
+    result = benchmark(
+        platform_lower_bound, classes, float(platform.num_nodes), platform.node_mtbf_s
+    )
+    assert result.constrained
+    assert result.io_pressure <= 1.0 + 1e-9
+    # Constrained periods are never shorter than the Daly periods.
+    for period, daly in zip(result.periods, result.daly_periods):
+        assert period >= daly - 1e-9
+
+
+def test_bench_lower_bound_bandwidth_sweep(benchmark):
+    """The full theoretical curve of Figure 1 (seven bandwidth points)."""
+
+    def sweep() -> list[float]:
+        values = []
+        for bandwidth in (40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0):
+            platform = cielo_platform(bandwidth_gbs=bandwidth)
+            values.append(theoretical_waste(apex_workload(platform), platform).waste_fraction)
+        return values
+
+    curve = benchmark(sweep)
+    print()
+    print("Theoretical model, Figure 1 axis (40..160 GB/s):", [round(v, 3) for v in curve])
+    # Waste decreases monotonically with bandwidth.
+    assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,83 @@
+"""Simulator micro/meso benchmarks and strategy ablation.
+
+These benches time the substrate itself (the discrete-event engine and the
+shared-bandwidth I/O model) and one full simulation run per strategy, which
+doubles as the ablation study called out in DESIGN.md: blocking vs.
+non-blocking waits, Fixed vs. Daly periods, FCFS vs. least-waste token
+granting all appear as separately-timed (and separately-checked) cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.io_subsystem import IOSubsystem
+from repro.sim.engine import SimulationEngine
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+from repro.units import DAY, GB
+from repro.workloads.apex import apex_workload
+from repro.workloads.cielo import cielo_platform
+from repro.iosched.registry import STRATEGIES
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw event throughput of the DES engine (100k chained events)."""
+
+    def run_chain() -> int:
+        engine = SimulationEngine()
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < 100_000:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count
+
+    assert benchmark(run_chain) == 100_000
+
+
+def test_bench_io_subsystem_fair_share(benchmark):
+    """Weighted fair-share transfer completion with heavy churn."""
+
+    def run_transfers() -> int:
+        engine = SimulationEngine()
+        io = IOSubsystem(engine, bandwidth_bytes_per_s=100.0 * GB)
+        completed = []
+        for index in range(500):
+            engine.schedule_at(
+                float(index),
+                lambda i=index: io.start(
+                    10.0 * GB, weight=float(1 + i % 7), on_complete=completed.append
+                ),
+            )
+        engine.run()
+        return len(completed)
+
+    assert benchmark(run_transfers) == 500
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_bench_simulation_by_strategy(benchmark, strategy):
+    """One short Cielo/APEX simulation per strategy (ablation grid)."""
+    platform = cielo_platform(bandwidth_gbs=60.0)
+    config = SimulationConfig(
+        platform=platform,
+        classes=tuple(apex_workload(platform)),
+        strategy=strategy,
+        horizon_s=2.0 * DAY,
+        warmup_s=0.5 * DAY,
+        cooldown_s=0.5 * DAY,
+        seed=42,
+    )
+
+    def run_once():
+        return Simulation(config).run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert 0.0 <= result.waste_ratio <= 1.0
+    assert result.node_utilization > 0.9

@@ -1,0 +1,31 @@
+"""Benchmark + regeneration of Table 1 (APEX workload characteristics).
+
+Running ``pytest benchmarks/bench_table1.py --benchmark-only -s`` prints the
+reproduced table alongside the timing of its construction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.workloads.apex import APEX_TABLE, apex_workload
+from repro.workloads.cielo import CIELO
+
+
+def test_bench_table1_render(benchmark):
+    """Time the regeneration of Table 1 and print it."""
+    text = benchmark(render_table1, CIELO)
+    print()
+    print(text)
+    # The rendered table must contain every class and every row label.
+    for spec in APEX_TABLE:
+        assert spec.name in text
+    assert "Workload percentage" in text
+    assert "Checkpoint Size (% of memory)" in text
+
+
+def test_bench_table1_workload_instantiation(benchmark):
+    """Time the conversion of Table 1 percentages into absolute volumes."""
+    classes = benchmark(apex_workload, CIELO)
+    assert len(classes) == len(APEX_TABLE)
+    rows = table1_rows()
+    assert rows[0]["EAP"] == 66.0

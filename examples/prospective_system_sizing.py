@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Figure 3 scenario: sizing the I/O subsystem of a future platform.
+
+For the prospective 50 000-node / 7 PB system of the paper's §6.2, this
+example finds, for each strategy, the minimum aggregate file-system
+bandwidth needed to keep the platform at 80 % efficiency, as a function of
+the node MTBF.  It answers the procurement question the paper closes with:
+how much can cooperative checkpoint scheduling save on the I/O partition?
+
+Usage::
+
+    python examples/prospective_system_sizing.py --mtbf-years 5 15 25 --num-runs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mtbf-years", type=float, nargs="+", default=[5.0, 15.0, 25.0])
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        default=["oblivious-fixed", "ordered-daly", "orderednb-daly", "least-waste"],
+        help="subset of strategies to size (the full seven take a while)",
+    )
+    parser.add_argument("--target-efficiency", type=float, default=0.80)
+    parser.add_argument("--horizon-days", type=float, default=3.0)
+    parser.add_argument("--num-runs", type=int, default=2)
+    args = parser.parse_args()
+
+    config = Figure3Config(
+        node_mtbf_years=tuple(args.mtbf_years),
+        strategies=tuple(args.strategies),
+        target_efficiency=args.target_efficiency,
+        horizon_days=args.horizon_days,
+        num_runs=args.num_runs,
+    )
+    result = run_figure3(config)
+    print(render_figure3(result))
+    print()
+
+    # Headline comparison: how much bandwidth does cooperation save?
+    if "oblivious-fixed" in result.min_bandwidth_tbs and "least-waste" in result.min_bandwidth_tbs:
+        for index, mtbf in enumerate(result.node_mtbf_years):
+            naive = result.min_bandwidth_tbs["oblivious-fixed"][index]
+            coop = result.min_bandwidth_tbs["least-waste"][index]
+            if coop > 0:
+                print(
+                    f"node MTBF {mtbf:g} years: oblivious-fixed needs "
+                    f"{naive / coop:.1f}x the bandwidth of least-waste"
+                )
+
+
+if __name__ == "__main__":
+    main()

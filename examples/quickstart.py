@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one strategy on the Cielo/APEX workload.
+
+Runs a short (3-day) simulation of the LANL APEX workload on Cielo with a
+constrained 60 GB/s file system, once for the uncoordinated ``oblivious-fixed``
+baseline and once for the cooperative ``least-waste`` strategy, and prints
+the waste breakdown of both together with the theoretical lower bound.
+
+Usage::
+
+    python examples/quickstart.py [--horizon-days 3] [--bandwidth-gbs 60] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import apex_workload, cielo_platform, run_simulation
+from repro.experiments.theory import theoretical_waste
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon-days", type=float, default=3.0)
+    parser.add_argument("--bandwidth-gbs", type=float, default=60.0)
+    parser.add_argument("--node-mtbf-years", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platform = cielo_platform(
+        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+    )
+    workload = apex_workload(platform)
+
+    print(platform.describe())
+    print()
+    print("Application classes:")
+    for app in workload:
+        print(f"  {app.describe()}")
+    print()
+
+    bound = theoretical_waste(workload, platform)
+    print(
+        f"Theoretical lower bound: waste ratio {bound.waste_fraction:.3f} "
+        f"(efficiency {bound.efficiency:.3f})"
+    )
+    print()
+
+    for strategy in ("oblivious-fixed", "least-waste"):
+        result = run_simulation(
+            platform=platform,
+            workload=workload,
+            strategy=strategy,
+            horizon_days=args.horizon_days,
+            seed=args.seed,
+        )
+        print(f"=== {strategy} ===")
+        print(result.summary())
+        print()
+
+    print(
+        "The cooperative Least-Waste scheduler should be close to the "
+        "theoretical bound, while the uncoordinated hourly checkpointing "
+        "baseline wastes a large fraction of the platform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable installs need a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

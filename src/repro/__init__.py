@@ -1,0 +1,113 @@
+"""repro — reproduction of *Optimal Cooperative Checkpointing for Shared
+High-Performance Computing Platforms* (Hérault et al., IPDPS 2018).
+
+The package provides three layers:
+
+* :mod:`repro.core` — the analytical models of the paper: the Young/Daly
+  period, the single-job and platform waste models, the constrained
+  lower bound of Theorem 1 and the Least-Waste scoring heuristic.
+* the simulation substrate — a from-scratch discrete-event engine
+  (:mod:`repro.sim`), a platform model with failure injection and a shared
+  parallel file system (:mod:`repro.platform`), an application/job model
+  (:mod:`repro.apps`), I/O scheduling strategies (:mod:`repro.iosched`) and
+  an online first-fit job scheduler (:mod:`repro.jobsched`).
+* the evaluation harness — workload definitions (:mod:`repro.workloads`),
+  the top-level simulator (:mod:`repro.simulation`), Monte-Carlo statistics
+  (:mod:`repro.stats`) and per-figure experiments
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import run_simulation, cielo_platform, apex_workload
+>>> platform = cielo_platform(bandwidth_gbs=80.0)
+>>> result = run_simulation(
+...     platform=platform,
+...     workload=apex_workload(),
+...     strategy="least-waste",
+...     horizon_days=4.0,
+...     seed=1,
+... )
+>>> 0.0 <= result.waste_ratio
+True
+"""
+
+from __future__ import annotations
+
+from repro.core.daly import daly_period, young_period, job_mtbf, system_mtbf
+from repro.core.waste import job_waste, platform_waste, optimal_job_waste
+from repro.core.lower_bound import (
+    LowerBoundResult,
+    SteadyStateClass,
+    optimal_periods,
+    platform_lower_bound,
+)
+from repro.core.least_waste import (
+    CkptCandidate,
+    IOCandidate,
+    expected_waste,
+    select_candidate,
+)
+from repro.platform.spec import PlatformSpec
+from repro.apps.app_class import ApplicationClass
+from repro.apps.checkpoint_policy import CheckpointPolicy, DalyPolicy, FixedPolicy
+from repro.iosched.registry import STRATEGIES, make_strategy, strategy_names
+from repro.workloads.apex import APEX_CLASSES, apex_workload
+from repro.workloads.cielo import cielo_platform
+from repro.workloads.prospective import prospective_platform, prospective_workload
+from repro.workloads.generator import WorkloadSpec, generate_jobs
+from repro.simulation.config import SimulationConfig
+from repro.simulation.results import SimulationResult, WasteBreakdown
+from repro.simulation.simulator import Simulation, run_simulation
+from repro.stats.summary import DistributionSummary, summarize
+from repro.stats.montecarlo import monte_carlo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "daly_period",
+    "young_period",
+    "job_mtbf",
+    "system_mtbf",
+    "job_waste",
+    "platform_waste",
+    "optimal_job_waste",
+    "LowerBoundResult",
+    "SteadyStateClass",
+    "optimal_periods",
+    "platform_lower_bound",
+    "IOCandidate",
+    "CkptCandidate",
+    "expected_waste",
+    "select_candidate",
+    # platform / apps
+    "PlatformSpec",
+    "ApplicationClass",
+    "CheckpointPolicy",
+    "DalyPolicy",
+    "FixedPolicy",
+    # strategies
+    "STRATEGIES",
+    "make_strategy",
+    "strategy_names",
+    # workloads
+    "APEX_CLASSES",
+    "apex_workload",
+    "cielo_platform",
+    "prospective_platform",
+    "prospective_workload",
+    "WorkloadSpec",
+    "generate_jobs",
+    # simulation
+    "SimulationConfig",
+    "SimulationResult",
+    "WasteBreakdown",
+    "Simulation",
+    "run_simulation",
+    # stats
+    "DistributionSummary",
+    "summarize",
+    "monte_carlo",
+]

@@ -1,0 +1,180 @@
+"""Jobs: single instances of an application class and their execution state.
+
+A :class:`Job` carries its static parameters (copied from the class, with
+the work duration drawn by the workload generator) plus the mutable state
+that the simulator updates: current :class:`~repro.apps.phases.JobState`,
+allocated nodes, work progress and the amount of work protected by a
+completed checkpoint.
+
+Work progress is tracked through explicit ``begin_progress`` /
+``pause_progress`` calls so both blocking strategies (where checkpoint waits
+pause the job) and non-blocking ones (where the job keeps computing while it
+waits for the I/O token) are expressed with the same machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.apps.app_class import ApplicationClass
+from repro.apps.phases import JobState
+from repro.errors import SimulationError
+
+__all__ = ["Job"]
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One schedulable job.
+
+    Attributes
+    ----------
+    app_class:
+        The application class this job is an instance of.
+    total_work_s:
+        Wall-clock compute time the job must accumulate to finish (seconds).
+        For a restarted job this is the *remaining* work.
+    submit_time:
+        Time the job was (re-)submitted to the scheduler.
+    priority:
+        Smaller values are scheduled first; restarts get negative priority
+        so they jump to the head of the queue (paper §2).
+    input_bytes:
+        Volume of the initial read.  For a restart this is the recovery read
+        of the last checkpoint.
+    is_restart:
+        True when this job is the resubmission of a failed job.
+    parent_id:
+        Id of the original failed job (for restarts), else ``None``.
+    """
+
+    app_class: ApplicationClass
+    total_work_s: float
+    submit_time: float = 0.0
+    priority: float = 0.0
+    input_bytes: float | None = None
+    is_restart: bool = False
+    parent_id: int | None = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    # --- mutable execution state (managed by the simulator) ---
+    state: JobState = JobState.PENDING
+    allocated_nodes: list[int] = field(default_factory=list)
+    start_time: float | None = None
+    end_time: float | None = None
+    work_done_s: float = 0.0
+    work_protected_s: float = 0.0
+    restart_count: int = 0
+    checkpoints_completed: int = 0
+    checkpoints_requested: int = 0
+    #: Time at which the currently protected state was captured (set when the
+    #: compute phase starts and whenever a checkpoint transfer begins); used
+    #: by the Least-Waste scheduler as d_j, the failure-exposure window.
+    last_capture_time: float | None = None
+    _progress_since: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_work_s <= 0.0:
+            raise SimulationError("total_work_s must be positive")
+        if self.input_bytes is None:
+            self.input_bytes = self.app_class.input_bytes
+        if self.input_bytes < 0.0:
+            raise SimulationError("input_bytes must be >= 0")
+
+    # ------------------------------------------------------------ static views
+    @property
+    def nodes(self) -> int:
+        """Number of nodes the job needs (``q_i`` of its class)."""
+        return self.app_class.nodes
+
+    @property
+    def output_bytes(self) -> float:
+        """Volume of the final output write."""
+        return self.app_class.output_bytes
+
+    @property
+    def checkpoint_bytes(self) -> float:
+        """Volume of one coordinated checkpoint."""
+        return self.app_class.checkpoint_bytes
+
+    @property
+    def routine_io_bytes(self) -> float:
+        """Total regular (non-checkpoint) I/O volume over the job's work."""
+        return self.app_class.routine_io_bytes
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``"EAP#12"``."""
+        suffix = f"r{self.restart_count}" if self.is_restart else ""
+        return f"{self.app_class.name}#{self.job_id}{suffix}"
+
+    # ------------------------------------------------------------ progress
+    def begin_progress(self, now: float) -> None:
+        """Mark that the job starts accumulating work at time ``now``."""
+        if self._progress_since is not None:
+            raise SimulationError(f"{self.name}: begin_progress while already progressing")
+        self._progress_since = now
+
+    def pause_progress(self, now: float) -> float:
+        """Stop accumulating work; returns the work done in the closed interval."""
+        if self._progress_since is None:
+            return 0.0
+        delta = now - self._progress_since
+        if delta < -1e-9:
+            raise SimulationError(f"{self.name}: progress interval with negative length")
+        delta = max(0.0, delta)
+        self.work_done_s += delta
+        self._progress_since = None
+        return delta
+
+    def sync_progress(self, now: float) -> None:
+        """Fold accumulated progress into ``work_done_s`` without pausing."""
+        if self._progress_since is None:
+            return
+        self.pause_progress(now)
+        self.begin_progress(now)
+
+    @property
+    def progressing(self) -> bool:
+        """True while the job is accumulating work."""
+        return self._progress_since is not None
+
+    def work_done_at(self, now: float) -> float:
+        """Work accumulated up to ``now`` (including any open interval)."""
+        done = self.work_done_s
+        if self._progress_since is not None:
+            done += max(0.0, now - self._progress_since)
+        return min(done, self.total_work_s)
+
+    def remaining_work_at(self, now: float) -> float:
+        """Work still to perform at ``now``."""
+        return max(0.0, self.total_work_s - self.work_done_at(now))
+
+    def unprotected_work_at(self, now: float) -> float:
+        """Work at risk (done but not yet protected by a completed checkpoint)."""
+        return max(0.0, self.work_done_at(now) - self.work_protected_s)
+
+    # ------------------------------------------------------------ checkpoints
+    def protect_work(self, amount_s: float) -> None:
+        """Record that a checkpoint holding ``amount_s`` of work is now on stable storage."""
+        if amount_s < self.work_protected_s - 1e-9:
+            raise SimulationError(
+                f"{self.name}: protected work cannot decrease "
+                f"({amount_s} < {self.work_protected_s})"
+            )
+        self.work_protected_s = min(max(amount_s, self.work_protected_s), self.total_work_s)
+        self.checkpoints_completed += 1
+
+    # ------------------------------------------------------------ completion
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state.terminal
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the job completed all its work and its final output."""
+        return self.state is JobState.COMPLETED

@@ -1,0 +1,322 @@
+"""Command-line interface.
+
+``coopckpt`` exposes the reproduction experiments and a single-run simulator
+from the shell::
+
+    coopckpt table1
+    coopckpt lower-bound --bandwidth-gbs 40
+    coopckpt simulate --strategy least-waste --bandwidth-gbs 80 --horizon-days 4
+    coopckpt figure1 --num-runs 3 --horizon-days 6 [--chart] [--csv fig1.csv]
+    coopckpt figure2 --num-runs 3
+    coopckpt figure3 --num-runs 2
+    coopckpt ablation --study interference
+    coopckpt trace --strategy least-waste --horizon-days 2
+
+Every experiment prints a plain-text table mirroring the corresponding table
+or figure of the paper; the figure commands can additionally export CSV/JSON
+and render an ASCII chart of the series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.figure1 import Figure1Config, render_figure1, run_figure1
+from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
+from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
+from repro.experiments.table1 import render_table1
+from repro.experiments.theory import theoretical_waste
+from repro.iosched.registry import STRATEGIES
+from repro.simulation.simulator import run_simulation
+from repro.units import HOUR
+from repro.workloads.apex import apex_workload
+from repro.workloads.cielo import cielo_platform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``coopckpt`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="coopckpt",
+        description=(
+            "Reproduction of 'Optimal Cooperative Checkpointing for Shared "
+            "High-Performance Computing Platforms' (Herault et al., IPDPS 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (APEX workload characteristics)")
+
+    bound = sub.add_parser("lower-bound", help="print the theoretical lower bound (Theorem 1)")
+    bound.add_argument("--bandwidth-gbs", type=float, default=160.0)
+    bound.add_argument("--node-mtbf-years", type=float, default=2.0)
+
+    sim = sub.add_parser("simulate", help="run one simulation and print its summary")
+    sim.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
+    sim.add_argument("--bandwidth-gbs", type=float, default=80.0)
+    sim.add_argument("--node-mtbf-years", type=float, default=2.0)
+    sim.add_argument("--horizon-days", type=float, default=6.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--fixed-period-hours", type=float, default=1.0)
+
+    fig1 = sub.add_parser("figure1", help="waste ratio vs. bandwidth (Cielo)")
+    fig1.add_argument("--num-runs", type=int, default=3)
+    fig1.add_argument("--horizon-days", type=float, default=6.0)
+    fig1.add_argument("--node-mtbf-years", type=float, default=2.0)
+    fig1.add_argument(
+        "--bandwidths-gbs", type=float, nargs="+", default=[40.0, 80.0, 120.0, 160.0]
+    )
+    fig1.add_argument("--detailed", action="store_true", help="include candlestick statistics")
+    fig1.add_argument("--chart", action="store_true", help="append an ASCII chart of the series")
+    fig1.add_argument("--csv", metavar="PATH", help="also write the series as CSV")
+    fig1.add_argument("--json", metavar="PATH", help="also write the series as JSON")
+
+    fig2 = sub.add_parser("figure2", help="waste ratio vs. node MTBF (Cielo, 40 GB/s)")
+    fig2.add_argument("--num-runs", type=int, default=3)
+    fig2.add_argument("--horizon-days", type=float, default=6.0)
+    fig2.add_argument("--bandwidth-gbs", type=float, default=40.0)
+    fig2.add_argument("--mtbf-years", type=float, nargs="+", default=[2.0, 5.0, 20.0, 50.0])
+    fig2.add_argument("--detailed", action="store_true", help="include candlestick statistics")
+    fig2.add_argument("--chart", action="store_true", help="append an ASCII chart of the series")
+    fig2.add_argument("--csv", metavar="PATH", help="also write the series as CSV")
+    fig2.add_argument("--json", metavar="PATH", help="also write the series as JSON")
+
+    fig3 = sub.add_parser(
+        "figure3", help="minimum bandwidth for 80%% efficiency (prospective system)"
+    )
+    fig3.add_argument("--num-runs", type=int, default=2)
+    fig3.add_argument("--horizon-days", type=float, default=4.0)
+    fig3.add_argument("--mtbf-years", type=float, nargs="+", default=[5.0, 15.0, 25.0])
+    fig3.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+
+    ablation = sub.add_parser("ablation", help="fixed-period and interference-model ablations")
+    ablation.add_argument(
+        "--study", choices=("fixed-period", "interference"), default="fixed-period"
+    )
+    ablation.add_argument("--bandwidth-gbs", type=float, default=60.0)
+    ablation.add_argument("--node-mtbf-years", type=float, default=2.0)
+    ablation.add_argument("--horizon-days", type=float, default=3.0)
+    ablation.add_argument("--num-runs", type=int, default=2)
+    ablation.add_argument(
+        "--periods-hours", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0],
+        help="fixed periods to compare (fixed-period study)",
+    )
+    ablation.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.0, 0.25, 1.0],
+        help="interference degradation factors (interference study)",
+    )
+    ablation.add_argument(
+        "--strategy", choices=STRATEGIES, default=None,
+        help="strategy to ablate (defaults per study)",
+    )
+
+    trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
+    trace.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
+    trace.add_argument("--bandwidth-gbs", type=float, default=80.0)
+    trace.add_argument("--node-mtbf-years", type=float, default=2.0)
+    trace.add_argument("--horizon-days", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--max-events", type=int, default=40, help="timeline lines to print")
+
+    return parser
+
+
+def _cmd_table1(_: argparse.Namespace) -> str:
+    return render_table1()
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> str:
+    platform = cielo_platform(
+        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+    )
+    workload = apex_workload(platform)
+    bound = theoretical_waste(workload, platform)
+    lines = [
+        f"Theoretical lower bound on {platform.name} "
+        f"({args.bandwidth_gbs:g} GB/s, {args.node_mtbf_years:g}-year node MTBF)",
+        f"  constrained (lambda > 0) : {bound.constrained}",
+        f"  lambda                   : {bound.lam:.3e}",
+        f"  I/O pressure (Eq. 6)     : {bound.io_pressure:.3f}",
+        f"  waste lower bound        : {bound.waste:.3f}",
+        f"  efficiency upper bound   : {bound.efficiency:.3f}",
+        "  per-class periods (hours):",
+    ]
+    for name, period, daly in zip(bound.class_names, bound.periods, bound.daly_periods):
+        lines.append(f"    {name:<10}: optimal {period / HOUR:6.2f}  (Daly {daly / HOUR:6.2f})")
+    return "\n".join(lines)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    platform = cielo_platform(
+        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+    )
+    result = run_simulation(
+        platform=platform,
+        workload=apex_workload(platform),
+        strategy=args.strategy,
+        horizon_days=args.horizon_days,
+        seed=args.seed,
+        fixed_period_s=args.fixed_period_hours * HOUR,
+    )
+    return result.summary()
+
+
+def _sweep_output(result, rendered: str, args: argparse.Namespace, title: str) -> str:
+    """Shared post-processing of the Figure 1/2 sweeps (detail, chart, export)."""
+    from repro.experiments.export import sweep_to_csv, sweep_to_json, write_text
+    from repro.experiments.plotting import sweep_chart
+    from repro.experiments.report import render_sweep_detailed
+
+    parts = [rendered]
+    if getattr(args, "detailed", False):
+        parts.append(render_sweep_detailed(result, title=f"{title} (detailed)"))
+    if getattr(args, "chart", False):
+        parts.append(sweep_chart(result))
+    if getattr(args, "csv", None):
+        path = write_text(args.csv, sweep_to_csv(result))
+        parts.append(f"wrote {path}")
+    if getattr(args, "json", None):
+        path = write_text(args.json, sweep_to_json(result))
+        parts.append(f"wrote {path}")
+    return "\n\n".join(parts)
+
+
+def _cmd_figure1(args: argparse.Namespace) -> str:
+    config = Figure1Config(
+        bandwidths_gbs=tuple(args.bandwidths_gbs),
+        node_mtbf_years=args.node_mtbf_years,
+        horizon_days=args.horizon_days,
+        num_runs=args.num_runs,
+    )
+    result = run_figure1(config)
+    return _sweep_output(result, render_figure1(result), args, "Figure 1")
+
+
+def _cmd_figure2(args: argparse.Namespace) -> str:
+    config = Figure2Config(
+        node_mtbf_years=tuple(args.mtbf_years),
+        bandwidth_gbs=args.bandwidth_gbs,
+        horizon_days=args.horizon_days,
+        num_runs=args.num_runs,
+    )
+    result = run_figure2(config)
+    return _sweep_output(result, render_figure2(result), args, "Figure 2")
+
+
+def _cmd_figure3(args: argparse.Namespace) -> str:
+    config = Figure3Config(
+        node_mtbf_years=tuple(args.mtbf_years),
+        horizon_days=args.horizon_days,
+        num_runs=args.num_runs,
+    )
+    result = run_figure3(config)
+    rendered = render_figure3(result)
+    if args.csv:
+        from repro.experiments.export import figure3_to_csv, write_text
+
+        path = write_text(args.csv, figure3_to_csv(result))
+        rendered += f"\n\nwrote {path}"
+    return rendered
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    from repro.experiments.ablation import (
+        fixed_period_ablation,
+        interference_model_ablation,
+        render_ablation,
+    )
+
+    platform = cielo_platform(
+        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+    )
+    workload = apex_workload(platform)
+    if args.study == "fixed-period":
+        cells = fixed_period_ablation(
+            platform,
+            workload,
+            strategy=args.strategy or "oblivious-fixed",
+            periods_hours=tuple(args.periods_hours),
+            horizon_days=args.horizon_days,
+            num_runs=args.num_runs,
+        )
+        title = (
+            f"Fixed-period ablation on {platform.name} "
+            f"({args.bandwidth_gbs:g} GB/s, {args.node_mtbf_years:g}-year node MTBF)"
+        )
+    else:
+        cells = interference_model_ablation(
+            platform,
+            workload,
+            strategy=args.strategy or "oblivious-daly",
+            alphas=tuple(args.alphas),
+            horizon_days=args.horizon_days,
+            num_runs=args.num_runs,
+        )
+        title = (
+            f"Interference-model ablation on {platform.name} "
+            f"({args.bandwidth_gbs:g} GB/s, {args.node_mtbf_years:g}-year node MTBF)"
+        )
+    return render_ablation(title, cells)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.simulator import Simulation
+    from repro.units import DAY
+
+    platform = cielo_platform(
+        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+    )
+    config = SimulationConfig(
+        platform=platform,
+        classes=tuple(apex_workload(platform)),
+        strategy=args.strategy,
+        horizon_s=args.horizon_days * DAY,
+        warmup_s=0.0,
+        cooldown_s=0.0,
+        seed=args.seed,
+        collect_trace=True,
+    )
+    simulation = Simulation(config)
+    result = simulation.run()
+    assert simulation.trace is not None
+    lines = [result.summary(), "", f"timeline (first {args.max_events} events):"]
+    for event in simulation.trace.events[: args.max_events]:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
+        lines.append(f"  t={event.time / HOUR:9.3f} h  {event.job_name:<14} {event.kind.value:<20} {detail}")
+    intervals = simulation.trace.achieved_checkpoint_intervals()
+    if intervals:
+        lines.append("")
+        lines.append("achieved checkpoint intervals (hours), per job:")
+        for job_id, values in list(intervals.items())[:10]:
+            formatted = ", ".join(f"{v / HOUR:.2f}" for v in values)
+            lines.append(f"  job {job_id}: {formatted}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "lower-bound": _cmd_lower_bound,
+    "simulate": _cmd_simulate,
+    "figure1": _cmd_figure1,
+    "figure2": _cmd_figure2,
+    "figure3": _cmd_figure3,
+    "ablation": _cmd_ablation,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

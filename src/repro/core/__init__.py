@@ -1,0 +1,47 @@
+"""Analytical models from the paper.
+
+* :mod:`repro.core.daly` — Young/Daly optimal checkpoint periods and MTBF
+  scaling rules (paper §1 and Eq. (5)).
+* :mod:`repro.core.waste` — single-job waste (Eq. (3)) and platform waste
+  (Eq. (4)/(7)).
+* :mod:`repro.core.lower_bound` — the constrained optimization of §4
+  (Theorem 1): optimal per-class periods under the aggregate I/O constraint
+  of Eq. (6), and the resulting lower bound on platform waste.
+* :mod:`repro.core.least_waste` — the Least-Waste scoring heuristic of §3.5
+  (Eq. (1) and (2)) used by the cooperative I/O scheduler.
+"""
+
+from repro.core.daly import daly_period, young_period, job_mtbf, system_mtbf
+from repro.core.waste import job_waste, optimal_job_waste, platform_waste
+from repro.core.lower_bound import (
+    LowerBoundResult,
+    SteadyStateClass,
+    io_pressure,
+    optimal_periods,
+    platform_lower_bound,
+)
+from repro.core.least_waste import (
+    CkptCandidate,
+    IOCandidate,
+    expected_waste,
+    select_candidate,
+)
+
+__all__ = [
+    "daly_period",
+    "young_period",
+    "job_mtbf",
+    "system_mtbf",
+    "job_waste",
+    "optimal_job_waste",
+    "platform_waste",
+    "LowerBoundResult",
+    "SteadyStateClass",
+    "io_pressure",
+    "optimal_periods",
+    "platform_lower_bound",
+    "IOCandidate",
+    "CkptCandidate",
+    "expected_waste",
+    "select_candidate",
+]

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to distinguish configuration errors from runtime simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A platform, workload or simulation parameter is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The job scheduler or an I/O scheduler was driven into an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analytical computation (lower bound, waste model) cannot be performed."""

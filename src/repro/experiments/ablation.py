@@ -1,0 +1,161 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Two ablations complement the paper's figures:
+
+* :func:`fixed_period_ablation` — how sensitive the *Fixed* strategies are
+  to the choice of the fixed checkpoint period (the paper uses one hour;
+  §7 cites Arunagiri et al. on deliberately sub-optimal longer periods).
+* :func:`interference_model_ablation` — how much of the Oblivious
+  strategies' loss comes from the linear-interference assumption itself,
+  by re-running the same scenario under the adversarial models of
+  :mod:`repro.platform.interference` (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.apps.app_class import ApplicationClass
+from repro.errors import ConfigurationError
+from repro.platform.interference import (
+    DegradingInterference,
+    InterferenceModel,
+    LinearInterference,
+)
+from repro.platform.spec import PlatformSpec
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+from repro.stats.montecarlo import derive_seeds
+from repro.stats.summary import DistributionSummary, summarize
+from repro.units import DAY, HOUR
+
+__all__ = [
+    "AblationCell",
+    "fixed_period_ablation",
+    "interference_model_ablation",
+    "render_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationCell:
+    """One ablation measurement: a label and its waste-ratio summary."""
+
+    label: str
+    waste: DistributionSummary
+
+
+def _run_cells(
+    platform: PlatformSpec,
+    workload: Sequence[ApplicationClass],
+    strategy: str,
+    *,
+    horizon_days: float,
+    num_runs: int,
+    base_seed: int,
+    fixed_period_s: float = HOUR,
+    interference: InterferenceModel | None = None,
+) -> DistributionSummary:
+    values = []
+    for seed in derive_seeds(base_seed, num_runs):
+        config = SimulationConfig(
+            platform=platform,
+            classes=tuple(workload),
+            strategy=strategy,
+            horizon_s=horizon_days * DAY,
+            warmup_s=min(1.0, horizon_days / 4.0) * DAY,
+            cooldown_s=min(1.0, horizon_days / 4.0) * DAY,
+            seed=seed,
+            fixed_period_s=fixed_period_s,
+            interference=interference,
+        )
+        values.append(Simulation(config).run().waste_ratio)
+    return summarize(values)
+
+
+def fixed_period_ablation(
+    platform: PlatformSpec,
+    workload: Sequence[ApplicationClass],
+    *,
+    strategy: str = "oblivious-fixed",
+    periods_hours: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    horizon_days: float = 4.0,
+    num_runs: int = 2,
+    base_seed: int = 0,
+) -> list[AblationCell]:
+    """Waste of a Fixed-period strategy as the fixed period varies.
+
+    The paper's Fixed variants always use one hour; this ablation shows how
+    much of their loss is attributable to that specific choice rather than
+    to the fixed-period policy itself.
+    """
+    if not periods_hours:
+        raise ConfigurationError("periods_hours must not be empty")
+    if "fixed" not in strategy:
+        raise ConfigurationError("fixed_period_ablation only applies to *-fixed strategies")
+    cells = []
+    for hours in periods_hours:
+        summary = _run_cells(
+            platform,
+            workload,
+            strategy,
+            horizon_days=horizon_days,
+            num_runs=num_runs,
+            base_seed=base_seed,
+            fixed_period_s=hours * HOUR,
+        )
+        cells.append(AblationCell(label=f"{strategy}, P = {hours:g} h", waste=summary))
+    return cells
+
+
+def interference_model_ablation(
+    platform: PlatformSpec,
+    workload: Sequence[ApplicationClass],
+    *,
+    strategy: str = "oblivious-daly",
+    alphas: Sequence[float] = (0.0, 0.25, 1.0),
+    horizon_days: float = 4.0,
+    num_runs: int = 2,
+    base_seed: int = 0,
+) -> list[AblationCell]:
+    """Waste of one strategy under increasingly adversarial interference.
+
+    ``alpha = 0`` is the paper's linear model; larger values destroy
+    aggregate throughput when transfers overlap, which hurts the Oblivious
+    strategies (whose transfers always overlap) far more than the token-based
+    ones (which never overlap).
+    """
+    if not alphas:
+        raise ConfigurationError("alphas must not be empty")
+    cells = []
+    for alpha in alphas:
+        model: InterferenceModel
+        if alpha == 0.0:
+            model = LinearInterference()
+            label = f"{strategy}, linear interference"
+        else:
+            model = DegradingInterference(alpha=alpha)
+            label = f"{strategy}, degrading interference (alpha={alpha:g})"
+        summary = _run_cells(
+            platform,
+            workload,
+            strategy,
+            horizon_days=horizon_days,
+            num_runs=num_runs,
+            base_seed=base_seed,
+            interference=model,
+        )
+        cells.append(AblationCell(label=label, waste=summary))
+    return cells
+
+
+def render_ablation(title: str, cells: Sequence[AblationCell]) -> str:
+    """Plain-text table of an ablation study."""
+    width = max((len(cell.label) for cell in cells), default=10) + 2
+    lines = [title, ""]
+    lines.append("configuration".ljust(width) + "mean waste   [d1 q1 | q3 d9]")
+    lines.append("-" * (width + 32))
+    for cell in cells:
+        lines.append(cell.label.ljust(width) + cell.waste.format())
+    return "\n".join(lines)

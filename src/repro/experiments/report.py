@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks and the CLI print the reproduced tables/figures as text
+tables: one row per swept parameter value, one column per strategy plus the
+theoretical model.  Values are the mean waste ratios; the full candlestick
+statistics are available from the :class:`~repro.experiments.runner.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SweepResult
+
+__all__ = ["render_sweep", "render_sweep_detailed"]
+
+
+def render_sweep(result: SweepResult, *, title: str, value_format: str = "{:g}") -> str:
+    """Compact table of mean waste ratios (plus the theoretical bound)."""
+    col = 18
+    lines = [title, ""]
+    header = result.parameter_name.ljust(30) + "".join(
+        name.rjust(col) for name in result.strategies + ["theoretical-model"]
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for index, value in enumerate(result.parameter_values):
+        row = value_format.format(value).ljust(30)
+        for strategy in result.strategies:
+            row += f"{result.waste[strategy][index].mean:>{col}.3f}"
+        row += f"{result.theory[index]:>{col}.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_sweep_detailed(result: SweepResult, *, title: str) -> str:
+    """Long-form rendering including the candlestick statistics of each cell."""
+    lines = [title, ""]
+    for index, value in enumerate(result.parameter_values):
+        lines.append(f"{result.parameter_name} = {value:g}")
+        lines.append(f"  theoretical-model : {result.theory[index]:.3f}")
+        for strategy in result.strategies:
+            summary = result.waste[strategy][index]
+            lines.append(f"  {strategy:<18}: {summary.format()}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Shared sweep machinery for the figure experiments.
+
+A *cell* is one (platform variant, strategy) pair evaluated over a number of
+Monte-Carlo repetitions; a *sweep* evaluates every strategy for every value
+of a platform parameter (bandwidth in Figure 1, node MTBF in Figure 2) and
+records the theoretical lower bound alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.apps.app_class import ApplicationClass
+from repro.errors import ConfigurationError
+from repro.experiments.theory import theoretical_waste
+from repro.iosched.registry import STRATEGIES
+from repro.platform.spec import PlatformSpec
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+from repro.stats.montecarlo import derive_seeds
+from repro.stats.summary import DistributionSummary, summarize
+from repro.units import DAY, HOUR
+
+__all__ = ["ExperimentCell", "SweepResult", "run_cell", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One strategy evaluated on one platform variant.
+
+    Attributes
+    ----------
+    platform / workload / strategy:
+        What to simulate.
+    horizon_days / warmup_days / cooldown_days:
+        Length of the simulated segment and of the excluded warm-up and
+        drain periods.  The paper uses 60-day segments; the defaults here
+        are laptop-scale (see DESIGN.md, "Scaling note").
+    num_runs:
+        Monte-Carlo repetitions (the paper uses at least 1 000).
+    base_seed:
+        Root seed; per-run seeds are derived deterministically.
+    fixed_period_s:
+        Period of the ``*-fixed`` strategy variants.
+    """
+
+    platform: PlatformSpec
+    workload: tuple[ApplicationClass, ...]
+    strategy: str
+    horizon_days: float = 6.0
+    warmup_days: float = 1.0
+    cooldown_days: float = 1.0
+    num_runs: int = 3
+    base_seed: int | None = 0
+    fixed_period_s: float = HOUR
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", tuple(self.workload))
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+        if self.num_runs <= 0:
+            raise ConfigurationError("num_runs must be positive")
+        if self.horizon_days <= 0.0:
+            raise ConfigurationError("horizon_days must be positive")
+
+    def config(self, seed: int) -> SimulationConfig:
+        """Simulation configuration for one Monte-Carlo repetition."""
+        return SimulationConfig(
+            platform=self.platform,
+            classes=self.workload,
+            strategy=self.strategy,
+            horizon_s=self.horizon_days * DAY,
+            warmup_s=self.warmup_days * DAY,
+            cooldown_s=self.cooldown_days * DAY,
+            seed=seed,
+            fixed_period_s=self.fixed_period_s,
+        )
+
+
+def run_cell(cell: ExperimentCell) -> DistributionSummary:
+    """Run one cell and summarise the per-run waste ratios."""
+    values: list[float] = []
+    for seed in derive_seeds(cell.base_seed, cell.num_runs):
+        result = Simulation(cell.config(seed)).run()
+        values.append(result.waste_ratio)
+    return summarize(values)
+
+
+@dataclass
+class SweepResult:
+    """Result of a one-dimensional parameter sweep.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the swept platform parameter (for reporting).
+    parameter_values:
+        The sweep axis, in evaluation order.
+    strategies:
+        Strategies evaluated for each axis value.
+    waste:
+        ``waste[strategy][i]`` is the waste-ratio summary of ``strategy`` at
+        ``parameter_values[i]``.
+    theory:
+        ``theory[i]`` is the theoretical lower bound at ``parameter_values[i]``.
+    """
+
+    parameter_name: str
+    parameter_values: list[float]
+    strategies: list[str]
+    waste: dict[str, list[DistributionSummary]] = field(default_factory=dict)
+    theory: list[float] = field(default_factory=list)
+
+    def series(self, strategy: str) -> list[float]:
+        """Mean waste ratio of ``strategy`` along the sweep axis."""
+        return [summary.mean for summary in self.waste[strategy]]
+
+    def best_strategy_at(self, index: int) -> str:
+        """Strategy with the lowest mean waste at ``parameter_values[index]``."""
+        return min(self.strategies, key=lambda s: self.waste[s][index].mean)
+
+
+def run_sweep(
+    *,
+    parameter_name: str,
+    parameter_values: Sequence[float],
+    platform_for: Callable[[float], PlatformSpec],
+    workload_for: Callable[[PlatformSpec], Sequence[ApplicationClass]],
+    strategies: Sequence[str] = STRATEGIES,
+    horizon_days: float = 6.0,
+    warmup_days: float = 1.0,
+    cooldown_days: float = 1.0,
+    num_runs: int = 3,
+    base_seed: int | None = 0,
+    fixed_period_s: float = HOUR,
+) -> SweepResult:
+    """Evaluate every strategy at every value of a platform parameter.
+
+    Parameters
+    ----------
+    platform_for:
+        Maps a parameter value to a :class:`PlatformSpec`.
+    workload_for:
+        Maps the resulting platform to the application classes (the APEX
+        volumes depend on the platform's memory, so the workload is rebuilt
+        per platform variant).
+    """
+    if not parameter_values:
+        raise ConfigurationError("parameter_values must not be empty")
+    result = SweepResult(
+        parameter_name=parameter_name,
+        parameter_values=[float(v) for v in parameter_values],
+        strategies=list(strategies),
+    )
+    for strategy in strategies:
+        result.waste[strategy] = []
+    for value in parameter_values:
+        platform = platform_for(float(value))
+        workload = tuple(workload_for(platform))
+        # Report the bound on the same scale as the simulated waste ratios
+        # (wasted fraction of total resources, see LowerBoundResult).
+        result.theory.append(theoretical_waste(workload, platform).waste_fraction)
+        for strategy in strategies:
+            cell = ExperimentCell(
+                platform=platform,
+                workload=workload,
+                strategy=strategy,
+                horizon_days=horizon_days,
+                warmup_days=warmup_days,
+                cooldown_days=cooldown_days,
+                num_runs=num_runs,
+                base_seed=base_seed,
+                fixed_period_s=fixed_period_s,
+            )
+            result.waste[strategy].append(run_cell(cell))
+    return result

@@ -1,0 +1,68 @@
+"""Table 1 — the LANL APEX workload characteristics.
+
+The experiment simply renders the class definitions of
+:mod:`repro.workloads.apex` in the same layout as the paper's Table 1, plus
+the derived absolute volumes for a chosen platform (Cielo by default), which
+is a useful sanity check of the memory-fraction conversion.
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import PlatformSpec
+from repro.units import GB
+from repro.workloads.apex import APEX_TABLE, apex_workload
+from repro.workloads.cielo import CIELO
+
+__all__ = ["table1_rows", "render_table1"]
+
+_ROW_LABELS: tuple[tuple[str, str], ...] = (
+    ("workload_percent", "Workload percentage"),
+    ("work_time_hours", "Work time (h)"),
+    ("cores", "Number of cores"),
+    ("input_percent_of_memory", "Initial Input (% of memory)"),
+    ("output_percent_of_memory", "Final Output (% of memory)"),
+    ("checkpoint_percent_of_memory", "Checkpoint Size (% of memory)"),
+)
+
+
+def table1_rows() -> list[dict[str, float | str]]:
+    """Table 1 as a list of dictionaries, one per row (attribute)."""
+    rows: list[dict[str, float | str]] = []
+    for attribute, label in _ROW_LABELS:
+        row: dict[str, float | str] = {"Workflow": label}
+        for spec in APEX_TABLE:
+            row[spec.name] = getattr(spec, attribute)
+        rows.append(row)
+    return rows
+
+
+def render_table1(platform: PlatformSpec | None = None) -> str:
+    """Render Table 1 (and the derived absolute sizes) as plain text."""
+    platform = platform or CIELO
+    names = [spec.name for spec in APEX_TABLE]
+    width = 28
+    col = 12
+    lines = ["Table 1: LANL Workflow Workload from the APEX Workflows report", ""]
+    header = "Workflow".ljust(width) + "".join(name.rjust(col) for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table1_rows():
+        label = str(row["Workflow"]).ljust(width)
+        values = "".join(f"{row[name]:>{col}g}" for name in names)
+        lines.append(label + values)
+
+    lines.append("")
+    lines.append(f"Derived absolute volumes on {platform.name} (GB per job):")
+    classes = apex_workload(platform)
+    derived_header = "Quantity".ljust(width) + "".join(name.rjust(col) for name in names)
+    lines.append(derived_header)
+    lines.append("-" * len(derived_header))
+    for label, getter in (
+        ("Nodes", lambda app: app.nodes),
+        ("Initial input (GB)", lambda app: app.input_bytes / GB),
+        ("Final output (GB)", lambda app: app.output_bytes / GB),
+        ("Checkpoint (GB)", lambda app: app.checkpoint_bytes / GB),
+    ):
+        values = "".join(f"{getter(app):>{col}.0f}" for app in classes)
+        lines.append(label.ljust(width) + values)
+    return "\n".join(lines)

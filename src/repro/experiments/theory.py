@@ -1,0 +1,62 @@
+"""Theoretical-model curves (Theorem 1) used as the reference in Figs. 1-3.
+
+The steady-state analysis needs, for each application class, the number of
+jobs running concurrently on a fully-packed platform.  Following §4, class
+``A_i`` receives its APEX share of the platform's nodes, so
+
+    n_i = share_i * N / q_i
+
+jobs of the class run at any instant (``n_i`` may be fractional).  The
+checkpoint commit time is the interference-free one, ``C_i = size_i / beta``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.apps.app_class import ApplicationClass
+from repro.core.lower_bound import LowerBoundResult, SteadyStateClass, platform_lower_bound
+from repro.errors import AnalysisError
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["steady_state_classes", "theoretical_waste"]
+
+
+def steady_state_classes(
+    workload: Sequence[ApplicationClass],
+    platform: PlatformSpec,
+) -> list[SteadyStateClass]:
+    """Convert a workload into the steady-state description of §4."""
+    if not workload:
+        raise AnalysisError("workload must contain at least one class")
+    total_share = sum(app.workload_share for app in workload)
+    if total_share <= 0.0:
+        raise AnalysisError("workload classes must define positive workload shares")
+    bandwidth = platform.io_bandwidth_bytes_per_s
+    classes: list[SteadyStateClass] = []
+    for app in workload:
+        share = app.workload_share / total_share
+        count = share * platform.num_nodes / app.nodes
+        classes.append(
+            SteadyStateClass(
+                name=app.name,
+                count=count,
+                nodes=float(app.nodes),
+                checkpoint_time=app.checkpoint_time(bandwidth),
+                recovery_time=app.recovery_time(bandwidth),
+            )
+        )
+    return classes
+
+
+def theoretical_waste(
+    workload: Sequence[ApplicationClass],
+    platform: PlatformSpec,
+) -> LowerBoundResult:
+    """Lower bound on the platform waste for ``workload`` on ``platform``.
+
+    This is the "Theoretical Model" curve of Figures 1 and 2 and the
+    reference efficiency used in Figure 3.
+    """
+    classes = steady_state_classes(workload, platform)
+    return platform_lower_bound(classes, float(platform.num_nodes), platform.node_mtbf_s)

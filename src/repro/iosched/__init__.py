@@ -1,0 +1,40 @@
+"""I/O scheduling strategies (paper §3).
+
+Four strategies decide when the file system serves each I/O request:
+
+* :class:`~repro.iosched.oblivious.ObliviousScheduler` — no coordination;
+  every request starts immediately and concurrent transfers share the
+  bandwidth (linear interference).  This is the status quo.
+* :class:`~repro.iosched.ordered.OrderedScheduler` — a single I/O token
+  granted First-Come-First-Served; jobs block (idle) while they wait.
+* :class:`~repro.iosched.ordered_nb.OrderedNBScheduler` — same FCFS token,
+  but jobs keep computing while they wait for a *checkpoint* token.
+* :class:`~repro.iosched.least_waste.LeastWasteScheduler` — the paper's
+  cooperative heuristic: the token goes to the request that minimizes the
+  expected waste inflicted on all other waiting requests (Eq. (1)/(2)).
+
+Each of the first three strategies exists in a ``fixed`` and a ``daly``
+checkpoint-period variant; Least-Waste always uses Daly periods.  Strategy
+instances are created by name through :mod:`repro.iosched.registry`.
+"""
+
+from repro.iosched.base import IORequest, IOScheduler, TokenScheduler
+from repro.iosched.oblivious import ObliviousScheduler
+from repro.iosched.ordered import OrderedScheduler
+from repro.iosched.ordered_nb import OrderedNBScheduler
+from repro.iosched.least_waste import LeastWasteScheduler
+from repro.iosched.registry import STRATEGIES, Strategy, make_strategy, strategy_names
+
+__all__ = [
+    "IORequest",
+    "IOScheduler",
+    "TokenScheduler",
+    "ObliviousScheduler",
+    "OrderedScheduler",
+    "OrderedNBScheduler",
+    "LeastWasteScheduler",
+    "Strategy",
+    "STRATEGIES",
+    "make_strategy",
+    "strategy_names",
+]

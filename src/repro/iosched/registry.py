@@ -1,0 +1,125 @@
+"""Strategy registry: the seven named strategies of the paper.
+
+A *strategy* pairs an I/O scheduler family with a checkpoint-period policy:
+
+================  =====================  ==============
+name              scheduler              period policy
+================  =====================  ==============
+oblivious-fixed   Oblivious              Fixed (1 h)
+oblivious-daly    Oblivious              Young/Daly
+ordered-fixed     Ordered (blocking)     Fixed (1 h)
+ordered-daly      Ordered (blocking)     Young/Daly
+orderednb-fixed   Ordered-NB             Fixed (1 h)
+orderednb-daly    Ordered-NB             Young/Daly
+least-waste       Least-Waste            Young/Daly
+================  =====================  ==============
+
+:func:`make_strategy` builds a :class:`Strategy` from its name;
+``Strategy.make_scheduler`` instantiates the scheduler against a concrete
+engine/I-O subsystem, and ``Strategy.policy`` provides the period policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.checkpoint_policy import CheckpointPolicy, make_policy
+from repro.errors import ConfigurationError
+from repro.iosched.base import IOScheduler
+from repro.iosched.least_waste import LeastWasteScheduler
+from repro.iosched.oblivious import ObliviousScheduler
+from repro.iosched.ordered import OrderedScheduler
+from repro.iosched.ordered_nb import OrderedNBScheduler
+from repro.platform.io_subsystem import IOSubsystem
+from repro.sim.engine import SimulationEngine
+from repro.units import HOUR
+
+__all__ = ["Strategy", "STRATEGIES", "make_strategy", "strategy_names"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A named (scheduler family, checkpoint policy) pair."""
+
+    name: str
+    scheduler_cls: type[IOScheduler]
+    policy: CheckpointPolicy
+    label: str
+
+    def make_scheduler(
+        self,
+        engine: SimulationEngine,
+        io: IOSubsystem,
+        node_mtbf_s: float,
+    ) -> IOScheduler:
+        """Instantiate the scheduler for one simulation run."""
+        return self.scheduler_cls(engine, io, node_mtbf_s)
+
+    @property
+    def nonblocking_checkpoints(self) -> bool:
+        """True when the strategy lets jobs compute while waiting to checkpoint."""
+        return self.scheduler_cls.nonblocking_checkpoints
+
+    @property
+    def shares_bandwidth(self) -> bool:
+        """True when concurrent transfers interfere (Oblivious only)."""
+        return self.scheduler_cls.shares_bandwidth
+
+
+_SCHEDULERS: dict[str, type[IOScheduler]] = {
+    "oblivious": ObliviousScheduler,
+    "ordered": OrderedScheduler,
+    "orderednb": OrderedNBScheduler,
+    "least-waste": LeastWasteScheduler,
+}
+
+_LABELS: dict[str, str] = {
+    "oblivious-fixed": "Oblivious-Fixed",
+    "oblivious-daly": "Oblivious-Daly",
+    "ordered-fixed": "Ordered-Fixed",
+    "ordered-daly": "Ordered-Daly",
+    "orderednb-fixed": "Ordered-NB-Fixed",
+    "orderednb-daly": "Ordered-NB-Daly",
+    "least-waste": "Least-Waste",
+}
+
+#: Names of the seven strategies evaluated in the paper, in the order they
+#: appear in the figures.
+STRATEGIES: tuple[str, ...] = (
+    "oblivious-fixed",
+    "oblivious-daly",
+    "ordered-fixed",
+    "ordered-daly",
+    "orderednb-fixed",
+    "orderednb-daly",
+    "least-waste",
+)
+
+
+def strategy_names() -> tuple[str, ...]:
+    """The seven strategy names, in the paper's plotting order."""
+    return STRATEGIES
+
+
+def make_strategy(name: str, *, fixed_period_s: float = HOUR) -> Strategy:
+    """Build a :class:`Strategy` from one of the names in :data:`STRATEGIES`.
+
+    Parameters
+    ----------
+    name:
+        Strategy name, case-insensitive (e.g. ``"orderednb-daly"``).
+    fixed_period_s:
+        Period used by the ``*-fixed`` variants (default one hour).
+    """
+    key = name.strip().lower()
+    if key not in _LABELS:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {', '.join(STRATEGIES)}"
+        )
+    if key == "least-waste":
+        scheduler_key, policy_key = "least-waste", "daly"
+    else:
+        scheduler_key, policy_key = key.rsplit("-", 1)
+    scheduler_cls = _SCHEDULERS[scheduler_key]
+    policy = make_policy(policy_key, fixed_period_s=fixed_period_s)
+    return Strategy(name=key, scheduler_cls=scheduler_cls, policy=policy, label=_LABELS[key])

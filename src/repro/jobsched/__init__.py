@@ -1,0 +1,13 @@
+"""Online job scheduling: pending-job queue and first-fit placement.
+
+The paper's job scheduler (§2, §5) is deliberately simple: jobs are
+presented in priority order (restarted jobs first, then arrival order) and a
+greedy first-fit pass starts every queued job that currently fits in the
+free nodes.  The schedule is recomputed online whenever nodes free up or a
+restart is enqueued.
+"""
+
+from repro.jobsched.queue import JobQueue
+from repro.jobsched.first_fit import FirstFitScheduler
+
+__all__ = ["JobQueue", "FirstFitScheduler"]

@@ -1,0 +1,63 @@
+"""Priority queue of pending jobs.
+
+Jobs are ordered by ``(priority, submit_time, job_id)``.  Regular jobs get
+priority 0 in arrival order; restarted jobs are enqueued with a negative
+priority so they are considered first by the first-fit pass, matching the
+paper's policy of restarting failed jobs at the head of the queue so they
+reclaim their nodes immediately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.apps.job import Job
+from repro.errors import SchedulingError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Ordered collection of jobs waiting for nodes."""
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        """Iterate in scheduling order (highest priority first)."""
+        return iter(self.ordered())
+
+    def __contains__(self, job: Job) -> bool:
+        return job in self._jobs
+
+    def push(self, job: Job) -> None:
+        """Add a job to the queue."""
+        if job in self._jobs:
+            raise SchedulingError(f"job {job.name} is already queued")
+        self._jobs.append(job)
+
+    def remove(self, job: Job) -> None:
+        """Remove a job (e.g. because it just started)."""
+        try:
+            self._jobs.remove(job)
+        except ValueError as exc:
+            raise SchedulingError(f"job {job.name} is not in the queue") from exc
+
+    def ordered(self) -> list[Job]:
+        """Jobs in scheduling order: priority, then submit time, then id."""
+        return sorted(self._jobs, key=lambda j: (j.priority, j.submit_time, j.job_id))
+
+    def peek(self) -> Job | None:
+        """Highest-priority job, or ``None`` when the queue is empty."""
+        order = self.ordered()
+        return order[0] if order else None
+
+    def clear(self) -> None:
+        """Drop every queued job."""
+        self._jobs.clear()

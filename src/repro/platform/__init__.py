@@ -1,0 +1,38 @@
+"""Platform substrate: nodes, failures and the shared parallel file system.
+
+* :mod:`repro.platform.spec` — static description of a platform
+  (:class:`~repro.platform.spec.PlatformSpec`): node count, memory,
+  aggregate file-system bandwidth, node MTBF.
+* :mod:`repro.platform.nodes` — the space-shared node pool used by the job
+  scheduler, tracking which nodes run which job.
+* :mod:`repro.platform.failures` — exponential failure-trace generation and
+  the failure injector that maps failures to running jobs.
+* :mod:`repro.platform.io_subsystem` — the time-shared parallel file system
+  with the paper's linear interference model (concurrent transfers share
+  the aggregate bandwidth proportionally to their node counts).
+"""
+
+from repro.platform.spec import PlatformSpec
+from repro.platform.nodes import NodePool
+from repro.platform.failures import FailureEvent, FailureTrace, generate_failure_trace
+from repro.platform.interference import (
+    CappedConcurrencyInterference,
+    DegradingInterference,
+    InterferenceModel,
+    LinearInterference,
+)
+from repro.platform.io_subsystem import IOSubsystem, Transfer
+
+__all__ = [
+    "PlatformSpec",
+    "NodePool",
+    "FailureEvent",
+    "FailureTrace",
+    "generate_failure_trace",
+    "InterferenceModel",
+    "LinearInterference",
+    "DegradingInterference",
+    "CappedConcurrencyInterference",
+    "IOSubsystem",
+    "Transfer",
+]

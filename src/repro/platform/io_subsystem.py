@@ -1,0 +1,289 @@
+"""Time-shared parallel file system with linear interference.
+
+The paper's interference model (§2) is linear and fair: when several
+transfers are in flight, the aggregate bandwidth ``beta`` is split between
+them proportionally to the number of nodes of the requesting jobs, and the
+aggregate throughput stays constant.  The :class:`IOSubsystem` implements
+this as a weighted processor-sharing server on top of the discrete-event
+engine:
+
+* each active :class:`Transfer` progresses at rate
+  ``beta * weight / sum(weights)``;
+* whenever the set of active transfers changes, the remaining volume of
+  every transfer is advanced to the current time and its completion event is
+  rescheduled at the new rate.
+
+The I/O *scheduling strategies* (:mod:`repro.iosched`) decide **when** a
+transfer is admitted; strategies that serialize I/O simply admit one
+transfer at a time, in which case the transfer receives the full bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.platform.interference import InterferenceModel, LinearInterference
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
+
+__all__ = ["Transfer", "IOSubsystem"]
+
+
+class Transfer:
+    """A single in-flight data transfer through the shared file system.
+
+    Attributes
+    ----------
+    owner:
+        Opaque reference to the entity performing the transfer (a job).
+    label:
+        Human-readable tag (``"checkpoint"``, ``"input"``, ...).
+    volume_bytes:
+        Total volume of the transfer.
+    remaining_bytes:
+        Volume still to transfer at the time of the last progress update.
+    weight:
+        Fair-share weight (the paper uses the job's node count).
+    started_at:
+        Simulation time at which the transfer was admitted.
+    finished_at:
+        Simulation time of completion, or ``None`` while in flight.
+    aborted:
+        True when the transfer was cancelled (e.g. its job failed).
+    """
+
+    __slots__ = (
+        "owner",
+        "label",
+        "volume_bytes",
+        "remaining_bytes",
+        "weight",
+        "started_at",
+        "finished_at",
+        "aborted",
+        "on_complete",
+        "_completion_event",
+    )
+
+    def __init__(
+        self,
+        owner: object,
+        label: str,
+        volume_bytes: float,
+        weight: float,
+        started_at: float,
+        on_complete: Callable[["Transfer"], None] | None,
+    ) -> None:
+        self.owner = owner
+        self.label = label
+        self.volume_bytes = float(volume_bytes)
+        self.remaining_bytes = float(volume_bytes)
+        self.weight = float(weight)
+        self.started_at = started_at
+        self.finished_at: float | None = None
+        self.aborted = False
+        self.on_complete = on_complete
+        self._completion_event: Event | None = None
+
+    @property
+    def done(self) -> bool:
+        """True when the transfer completed (not aborted)."""
+        return self.finished_at is not None and not self.aborted
+
+    @property
+    def active(self) -> bool:
+        """True while the transfer is in flight."""
+        return self.finished_at is None and not self.aborted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("aborted" if self.aborted else "active")
+        return (
+            f"Transfer({self.label}, {self.volume_bytes:.3g} B, "
+            f"remaining={self.remaining_bytes:.3g} B, {state})"
+        )
+
+
+class IOSubsystem:
+    """Weighted processor-sharing model of the parallel file system.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine providing the clock.
+    bandwidth_bytes_per_s:
+        Nominal aggregate bandwidth ``beta``.
+    interference:
+        Optional :class:`~repro.platform.interference.InterferenceModel`
+        modulating the aggregate throughput as a function of the number of
+        concurrent transfers.  Defaults to the paper's linear (conserving)
+        model.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        bandwidth_bytes_per_s: float,
+        interference: InterferenceModel | None = None,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0.0:
+            raise SimulationError("bandwidth_bytes_per_s must be positive")
+        self._engine = engine
+        self._bandwidth = float(bandwidth_bytes_per_s)
+        self._interference = interference or LinearInterference()
+        self._active: list[Transfer] = []
+        self._last_update = engine.now
+        # Aggregate statistics.
+        self._busy_seconds = 0.0
+        self._bytes_completed = 0.0
+        self._transfers_completed = 0
+        self._max_concurrency = 0
+
+    # ------------------------------------------------------------ queries
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Nominal aggregate bandwidth ``beta`` (bytes/s)."""
+        return self._bandwidth
+
+    @property
+    def interference_model(self) -> InterferenceModel:
+        """The interference model modulating the aggregate throughput."""
+        return self._interference
+
+    @property
+    def active_transfers(self) -> tuple[Transfer, ...]:
+        """Snapshot of the transfers currently in flight."""
+        return tuple(self._active)
+
+    @property
+    def busy(self) -> bool:
+        """True when at least one transfer is in flight."""
+        return bool(self._active)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total time with at least one active transfer (updated lazily)."""
+        self._advance_progress()
+        return self._busy_seconds
+
+    @property
+    def bytes_completed(self) -> float:
+        """Total volume of completed transfers (bytes)."""
+        return self._bytes_completed
+
+    @property
+    def transfers_completed(self) -> int:
+        """Number of completed transfers."""
+        return self._transfers_completed
+
+    @property
+    def max_concurrency(self) -> int:
+        """Maximum number of simultaneously active transfers observed."""
+        return self._max_concurrency
+
+    def duration_alone(self, volume_bytes: float) -> float:
+        """Time the transfer would take with the full bandwidth to itself."""
+        if volume_bytes < 0.0:
+            raise SimulationError("volume_bytes must be non-negative")
+        return volume_bytes / self._bandwidth
+
+    # ------------------------------------------------------------ mutation
+    def start(
+        self,
+        volume_bytes: float,
+        weight: float,
+        on_complete: Callable[[Transfer], None] | None = None,
+        *,
+        owner: object = None,
+        label: str = "io",
+    ) -> Transfer:
+        """Admit a new transfer and start it immediately.
+
+        A zero-volume transfer completes at the current time (its completion
+        callback is scheduled as an immediate event rather than invoked
+        synchronously, to keep callback ordering uniform).
+        """
+        if volume_bytes < 0.0:
+            raise SimulationError("volume_bytes must be non-negative")
+        if weight <= 0.0:
+            raise SimulationError("weight must be positive")
+        self._advance_progress()
+        transfer = Transfer(
+            owner=owner,
+            label=label,
+            volume_bytes=volume_bytes,
+            weight=weight,
+            started_at=self._engine.now,
+            on_complete=on_complete,
+        )
+        self._active.append(transfer)
+        self._max_concurrency = max(self._max_concurrency, len(self._active))
+        self._reschedule_completions()
+        return transfer
+
+    def abort(self, transfer: Transfer) -> None:
+        """Cancel an in-flight transfer (no completion callback is invoked)."""
+        if not transfer.active:
+            return
+        self._advance_progress()
+        transfer.aborted = True
+        transfer.finished_at = self._engine.now
+        if transfer._completion_event is not None:
+            self._engine.cancel(transfer._completion_event)
+            transfer._completion_event = None
+        self._active.remove(transfer)
+        self._reschedule_completions()
+
+    # ------------------------------------------------------------ internals
+    def _rate_of(self, transfer: Transfer, total_weight: float) -> float:
+        aggregate = self._interference.effective_bandwidth(self._bandwidth, len(self._active))
+        return aggregate * transfer.weight / total_weight
+
+    def _advance_progress(self) -> None:
+        """Advance every active transfer's remaining volume to the current time."""
+        now = self._engine.now
+        elapsed = now - self._last_update
+        if elapsed < 0.0:  # pragma: no cover - engine guarantees monotonic time
+            raise SimulationError("simulation time moved backwards")
+        if elapsed > 0.0 and self._active:
+            total_weight = sum(t.weight for t in self._active)
+            for transfer in self._active:
+                progressed = self._rate_of(transfer, total_weight) * elapsed
+                transfer.remaining_bytes = max(0.0, transfer.remaining_bytes - progressed)
+            self._busy_seconds += elapsed
+        self._last_update = now
+
+    def _reschedule_completions(self) -> None:
+        """Recompute and reschedule the completion event of every active transfer."""
+        total_weight = sum(t.weight for t in self._active)
+        for transfer in self._active:
+            if transfer._completion_event is not None:
+                self._engine.cancel(transfer._completion_event)
+                transfer._completion_event = None
+            rate = self._rate_of(transfer, total_weight)
+            delay = transfer.remaining_bytes / rate if rate > 0.0 else float("inf")
+            transfer._completion_event = self._engine.schedule(
+                delay, self._complete, transfer, label=f"io-complete:{transfer.label}"
+            )
+
+    def _complete(self, transfer: Transfer) -> None:
+        """Completion event handler for ``transfer``."""
+        if not transfer.active:  # aborted in the meantime
+            return
+        self._advance_progress()
+        # Guard against floating-point drift: by construction the transfer
+        # is (numerically) finished when its completion event fires.
+        if transfer.remaining_bytes > 1e-6 * max(1.0, transfer.volume_bytes):
+            raise SimulationError(
+                f"transfer {transfer!r} completion fired early "
+                f"({transfer.remaining_bytes} bytes left)"
+            )
+        transfer.remaining_bytes = 0.0
+        transfer.finished_at = self._engine.now
+        transfer._completion_event = None
+        self._active.remove(transfer)
+        self._bytes_completed += transfer.volume_bytes
+        self._transfers_completed += 1
+        self._reschedule_completions()
+        if transfer.on_complete is not None:
+            transfer.on_complete(transfer)

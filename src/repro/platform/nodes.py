@@ -1,0 +1,120 @@
+"""Space-shared node pool.
+
+The job scheduler allocates whole nodes to jobs; nodes are never shared
+between jobs (only the file system is).  The pool keeps the node → job
+mapping so the failure injector can determine which job (if any) a failing
+node was running.
+
+Allocation hands out the lowest-numbered free nodes.  The model does not
+capture network topology, so the identity of the nodes only matters for
+failure targeting; first-fit over node ids is sufficient and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """Tracks which nodes are free and which job owns each allocated node."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise SchedulingError("num_nodes must be positive")
+        self._num_nodes = num_nodes
+        # Sorted container of free node ids.  A sorted list plus set gives
+        # O(q) allocation of the q lowest free ids and O(1) membership tests.
+        self._free: list[int] = list(range(num_nodes))
+        self._free_set: set[int] = set(self._free)
+        self._owner: dict[int, object] = {}
+
+    # ------------------------------------------------------------ queries
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the pool."""
+        return self._num_nodes
+
+    @property
+    def num_free(self) -> int:
+        """Number of currently unallocated nodes."""
+        return len(self._free_set)
+
+    @property
+    def num_allocated(self) -> int:
+        """Number of currently allocated nodes."""
+        return self._num_nodes - len(self._free_set)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of nodes currently allocated."""
+        return self.num_allocated / self._num_nodes
+
+    def owner_of(self, node_id: int) -> object | None:
+        """The job owning ``node_id``, or ``None`` if the node is free."""
+        self._check_node(node_id)
+        return self._owner.get(node_id)
+
+    def nodes_of(self, owner: object) -> list[int]:
+        """All node ids currently owned by ``owner`` (possibly empty)."""
+        return [n for n, o in self._owner.items() if o is owner]
+
+    def can_allocate(self, count: int) -> bool:
+        """True when ``count`` nodes are currently free."""
+        return 0 < count <= self.num_free
+
+    # ------------------------------------------------------------ mutation
+    def allocate(self, count: int, owner: object) -> list[int]:
+        """Allocate the ``count`` lowest-numbered free nodes to ``owner``.
+
+        Raises
+        ------
+        SchedulingError
+            If fewer than ``count`` nodes are free.
+        """
+        if count <= 0:
+            raise SchedulingError("cannot allocate a non-positive number of nodes")
+        if count > self.num_free:
+            raise SchedulingError(
+                f"cannot allocate {count} nodes: only {self.num_free} free"
+            )
+        # _free is kept sorted; take the first `count` that are still free.
+        allocated: list[int] = []
+        kept: list[int] = []
+        for node in self._free:
+            if node not in self._free_set:
+                continue  # stale entry from a release/allocate cycle
+            if len(allocated) < count:
+                allocated.append(node)
+            else:
+                kept.append(node)
+        self._free = kept
+        for node in allocated:
+            self._free_set.discard(node)
+            self._owner[node] = owner
+        return allocated
+
+    def release(self, node_ids: list[int]) -> None:
+        """Return ``node_ids`` to the free pool."""
+        for node in node_ids:
+            self._check_node(node)
+            if node in self._free_set:
+                raise SchedulingError(f"node {node} is already free")
+            del self._owner[node]
+            self._free_set.add(node)
+        self._free = sorted(self._free_set)
+
+    def release_owner(self, owner: object) -> list[int]:
+        """Release every node owned by ``owner``; returns the released ids."""
+        nodes = self.nodes_of(owner)
+        if nodes:
+            self.release(nodes)
+        return nodes
+
+    # ------------------------------------------------------------ helpers
+    def _check_node(self, node_id: int) -> None:
+        if not (0 <= node_id < self._num_nodes):
+            raise SchedulingError(
+                f"node id {node_id} outside the pool [0, {self._num_nodes})"
+            )

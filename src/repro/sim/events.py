@@ -1,0 +1,122 @@
+"""Event handles and the time-ordered event queue of the DES engine.
+
+Events are callbacks scheduled at an absolute simulation time.  Cancellation
+is *lazy*: a cancelled event stays in the heap but is skipped when popped,
+which keeps both scheduling and cancellation O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``: two events scheduled for the same
+    instant fire in scheduling order, which makes runs deterministic for a
+    given seed.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the event fires (seconds).
+    seq:
+        Monotonic tie-breaker assigned by the queue.
+    callback:
+        Zero-or-more-argument callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    label:
+        Optional human-readable tag, useful when tracing a simulation.
+    cancelled:
+        True when the event has been cancelled and must not fire.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped by the queue."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True when the event has not been cancelled."""
+        return not self.cancelled
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by firing time.
+
+    The queue is intentionally minimal: ``push``, ``pop_next`` (skipping
+    cancelled entries), ``peek_time`` and ``__len__`` (counting only active
+    events).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._active = 0
+
+    def __len__(self) -> int:
+        return self._active
+
+    def __bool__(self) -> bool:
+        return self._active > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if not (time == time):  # NaN check without importing math
+            raise SimulationError("event time must not be NaN")
+        event = Event(time=time, seq=next(self._counter), callback=callback, args=args, label=label)
+        heapq.heappush(self._heap, event)
+        self._active += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._active -= 1
+
+    def pop_next(self) -> Event | None:
+        """Pop and return the earliest active event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._active -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Firing time of the earliest active event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._active = 0

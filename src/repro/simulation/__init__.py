@@ -1,0 +1,35 @@
+"""Top-level simulation orchestration.
+
+* :mod:`repro.simulation.config` — :class:`SimulationConfig`, the complete
+  set of initial-condition parameters of one run.
+* :mod:`repro.simulation.accounting` — per-category node-second accounting
+  restricted to the measurement window.
+* :mod:`repro.simulation.results` — :class:`WasteBreakdown` and
+  :class:`SimulationResult`.
+* :mod:`repro.simulation.simulator` — :class:`Simulation`, which wires the
+  engine, platform, I/O scheduler, job scheduler and job runtimes together,
+  and :func:`run_simulation`, the one-call convenience entry point.
+* :mod:`repro.simulation.baseline` — the failure-free, checkpoint-free
+  baseline used to normalise waste (§6.1).
+"""
+
+from repro.simulation.accounting import Accounting, Category
+from repro.simulation.baseline import baseline_node_seconds
+from repro.simulation.config import SimulationConfig
+from repro.simulation.results import SimulationResult, WasteBreakdown
+from repro.simulation.simulator import Simulation, run_simulation
+from repro.simulation.trace import TraceEvent, TraceEventType, TraceRecorder
+
+__all__ = [
+    "Accounting",
+    "Category",
+    "SimulationConfig",
+    "SimulationResult",
+    "WasteBreakdown",
+    "Simulation",
+    "run_simulation",
+    "baseline_node_seconds",
+    "TraceEvent",
+    "TraceEventType",
+    "TraceRecorder",
+]

@@ -1,0 +1,162 @@
+"""Per-category node-second accounting over a measurement window.
+
+Following §5 of the paper, performance statistics are collected over a fixed
+segment of the simulation that excludes the first and last day (warm-up and
+drain), and every allocated node-second is attributed to exactly one
+category:
+
+* useful categories — ``COMPUTE`` (application progress) and ``BASE_IO``
+  (the un-dilated duration of input, output and regular I/O, which a
+  failure-free, checkpoint-free execution would also pay);
+* waste categories — ``IO_DELAY`` (waiting for, or dilation of,
+  non-checkpoint I/O), ``CHECKPOINT`` (checkpoint commit time),
+  ``CHECKPOINT_WAIT`` (idle wait for the checkpoint token under blocking
+  strategies), ``RECOVERY`` (reading checkpoints back after failures) and
+  ``LOST_WORK`` (work that had been recorded as compute but was lost to a
+  failure and must be redone — it is *moved* from ``COMPUTE`` to
+  ``LOST_WORK`` when the failure strikes).
+
+Intervals are clipped to the measurement window; scalar amounts (lost work)
+are attributed to the instant of the triggering event.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+from repro.errors import SimulationError
+
+__all__ = ["Category", "Accounting"]
+
+
+@unique
+class Category(Enum):
+    """Node-second accounting categories."""
+
+    COMPUTE = "compute"
+    BASE_IO = "base-io"
+    IO_DELAY = "io-delay"
+    CHECKPOINT = "checkpoint"
+    CHECKPOINT_WAIT = "checkpoint-wait"
+    RECOVERY = "recovery"
+    LOST_WORK = "lost-work"
+
+    @property
+    def useful(self) -> bool:
+        """True for categories that count as useful resource usage."""
+        return self in (Category.COMPUTE, Category.BASE_IO)
+
+
+class Accounting:
+    """Accumulates node-seconds per category inside ``[window_start, window_end]``."""
+
+    def __init__(self, window_start: float, window_end: float) -> None:
+        if window_end < window_start:
+            raise SimulationError(
+                f"invalid measurement window [{window_start}, {window_end}]"
+            )
+        self._start = float(window_start)
+        self._end = float(window_end)
+        self._totals: dict[Category, float] = {category: 0.0 for category in Category}
+        self._allocated = 0.0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def window(self) -> tuple[float, float]:
+        """The measurement window ``(start, end)`` in seconds."""
+        return self._start, self._end
+
+    @property
+    def window_length(self) -> float:
+        """Length of the measurement window (seconds)."""
+        return self._end - self._start
+
+    @property
+    def allocated_node_seconds(self) -> float:
+        """Node-seconds during which nodes were allocated to jobs, in-window."""
+        return self._allocated
+
+    def total(self, category: Category) -> float:
+        """Accumulated node-seconds of ``category`` inside the window."""
+        return self._totals[category]
+
+    def totals(self) -> dict[Category, float]:
+        """Copy of all per-category totals."""
+        return dict(self._totals)
+
+    # ------------------------------------------------------------ recording
+    def _clip(self, start: float, end: float) -> float:
+        if end < start:
+            raise SimulationError(f"interval with negative length [{start}, {end}]")
+        lo = max(start, self._start)
+        hi = min(end, self._end)
+        return max(0.0, hi - lo)
+
+    def in_window(self, instant: float) -> bool:
+        """True when ``instant`` falls inside the measurement window."""
+        return self._start <= instant <= self._end
+
+    def record_interval(self, category: Category, nodes: float, start: float, end: float) -> None:
+        """Attribute ``nodes`` node-streams over ``[start, end]`` to ``category``."""
+        if nodes < 0.0:
+            raise SimulationError("nodes must be non-negative")
+        length = self._clip(start, end)
+        if length > 0.0:
+            self._totals[category] += nodes * length
+
+    def record_amount(self, category: Category, node_seconds: float, at_time: float) -> None:
+        """Attribute a scalar amount of node-seconds at a given instant."""
+        if node_seconds < 0.0:
+            raise SimulationError("node_seconds must be non-negative")
+        if self.in_window(at_time):
+            self._totals[category] += node_seconds
+
+    def move_amount(
+        self,
+        source: Category,
+        destination: Category,
+        node_seconds: float,
+        at_time: float,
+    ) -> None:
+        """Re-attribute node-seconds from ``source`` to ``destination``.
+
+        Used when a failure converts previously recorded compute time into
+        lost work.  The move only happens when the triggering instant is
+        inside the window; the source total may go (slightly) negative when
+        part of the lost work was performed before the window opened, which
+        is expected and averages out over the window length.
+        """
+        if node_seconds < 0.0:
+            raise SimulationError("node_seconds must be non-negative")
+        if self.in_window(at_time):
+            self._totals[source] -= node_seconds
+            self._totals[destination] += node_seconds
+
+    def record_allocation(self, nodes: float, start: float, end: float) -> None:
+        """Record that ``nodes`` nodes were allocated to a job over ``[start, end]``."""
+        if nodes < 0.0:
+            raise SimulationError("nodes must be non-negative")
+        length = self._clip(start, end)
+        if length > 0.0:
+            self._allocated += nodes * length
+
+    # ------------------------------------------------------------ summaries
+    def useful_node_seconds(self) -> float:
+        """Total useful node-seconds (compute + base I/O, net of moves)."""
+        return sum(v for c, v in self._totals.items() if c.useful)
+
+    def waste_node_seconds(self) -> float:
+        """Total wasted node-seconds."""
+        return sum(v for c, v in self._totals.items() if not c.useful)
+
+    def waste_ratio(self) -> float:
+        """Wasted node-seconds divided by useful node-seconds.
+
+        Returns ``inf`` when no useful work landed inside the window but
+        waste did; 0 when the window is completely empty.
+        """
+        useful = self.useful_node_seconds()
+        waste = self.waste_node_seconds()
+        if useful <= 0.0:
+            return float("inf") if waste > 0.0 else 0.0
+        return waste / useful

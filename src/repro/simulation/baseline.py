@@ -1,0 +1,38 @@
+"""Failure-free, checkpoint-free baseline resource usage.
+
+Section 6.1 of the paper normalises the measured waste by the resource usage
+of a *baseline* execution of the same job mix with no faults, no checkpoints
+and no I/O interference: the node-seconds each job spends computing and
+performing its regular (non-checkpoint/restart) I/O.
+
+The baseline of a job is independent of scheduling, so it does not need a
+discrete-event simulation: it is simply ``q * (work + base I/O time)`` where
+the base I/O time is the un-dilated duration of the job's input, output and
+routine I/O at the platform's full bandwidth.  The library's in-simulation
+accounting reports exactly the same quantity (the ``COMPUTE`` + ``BASE_IO``
+categories), so the waste ratio it computes matches the paper's definition;
+this module provides the standalone baseline for cross-checks and tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.apps.job import Job
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["baseline_job_node_seconds", "baseline_node_seconds"]
+
+
+def baseline_job_node_seconds(job: Job, platform: PlatformSpec) -> float:
+    """Baseline node-seconds of one job: compute plus un-dilated application I/O."""
+    bandwidth = platform.io_bandwidth_bytes_per_s
+    io_seconds = (
+        job.app_class.input_bytes + job.output_bytes + job.routine_io_bytes
+    ) / bandwidth
+    return job.nodes * (job.total_work_s + io_seconds)
+
+
+def baseline_node_seconds(jobs: Iterable[Job], platform: PlatformSpec) -> float:
+    """Baseline node-seconds of a whole job list."""
+    return sum(baseline_job_node_seconds(job, platform) for job in jobs)

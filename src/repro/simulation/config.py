@@ -1,0 +1,142 @@
+"""Simulation configuration.
+
+:class:`SimulationConfig` gathers every parameter of a single run: the
+platform, the application classes, the I/O scheduling strategy, the
+simulated horizon and measurement window, and the random seed.  It also
+derives the workload-generator specification and validates parameter
+consistency so errors surface before any event is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.apps.app_class import ApplicationClass
+from repro.errors import ConfigurationError
+from repro.iosched.registry import STRATEGIES
+from repro.platform.interference import InterferenceModel
+from repro.platform.spec import PlatformSpec
+from repro.units import DAY, HOUR
+from repro.workloads.generator import WorkloadSpec
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Initial conditions of one simulation run.
+
+    Attributes
+    ----------
+    platform:
+        The platform to simulate.
+    classes:
+        Application classes of the workload.
+    strategy:
+        Name of the I/O scheduling strategy (one of
+        :data:`repro.iosched.registry.STRATEGIES`).
+    horizon_s:
+        Length of the simulated segment (seconds).
+    warmup_s / cooldown_s:
+        Lengths of the excluded segments at the beginning and end of the
+        horizon (§5 excludes the first and last day).  They are capped to a
+        quarter of the horizon each so short test runs keep a non-empty
+        measurement window.
+    seed:
+        Root random seed of the run (workload mix, work-time jitter and the
+        failure trace each use an independent stream derived from it).
+    fixed_period_s:
+        Checkpoint period of the ``*-fixed`` strategy variants.
+    routine_io_chunks:
+        Number of equally-spaced regular-I/O transfers a job performs during
+        its compute phase when its class has ``routine_io_bytes > 0``.
+    share_tolerance / work_time_jitter / headroom:
+        Workload-generator parameters, see
+        :class:`~repro.workloads.generator.WorkloadSpec`.
+    max_events:
+        Safety cap on the number of simulated events.
+    """
+
+    platform: PlatformSpec
+    classes: tuple[ApplicationClass, ...]
+    strategy: str = "least-waste"
+    horizon_s: float = 8.0 * DAY
+    warmup_s: float = 1.0 * DAY
+    cooldown_s: float = 1.0 * DAY
+    seed: int | None = None
+    fixed_period_s: float = HOUR
+    routine_io_chunks: int = 4
+    share_tolerance: float = 0.01
+    work_time_jitter: float = 0.2
+    headroom: float = 1.3
+    max_events: int = 20_000_000
+    #: Optional adversarial interference model for the shared file system
+    #: (None selects the paper's linear, throughput-conserving model).
+    interference: InterferenceModel | None = None
+    #: When True the simulator records a per-job execution trace
+    #: (see :mod:`repro.simulation.trace`), available as ``Simulation.trace``.
+    collect_trace: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.classes:
+            raise ConfigurationError("SimulationConfig requires at least one application class")
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; expected one of {', '.join(STRATEGIES)}"
+            )
+        if self.horizon_s <= 0.0:
+            raise ConfigurationError("horizon_s must be positive")
+        if self.warmup_s < 0.0 or self.cooldown_s < 0.0:
+            raise ConfigurationError("warmup_s and cooldown_s must be non-negative")
+        if self.fixed_period_s <= 0.0:
+            raise ConfigurationError("fixed_period_s must be positive")
+        if self.routine_io_chunks < 0:
+            raise ConfigurationError("routine_io_chunks must be non-negative")
+        if self.max_events <= 0:
+            raise ConfigurationError("max_events must be positive")
+        for app in self.classes:
+            if app.nodes > self.platform.num_nodes:
+                raise ConfigurationError(
+                    f"class {app.name!r} needs {app.nodes} nodes but platform "
+                    f"{self.platform.name!r} has only {self.platform.num_nodes}"
+                )
+
+    # ------------------------------------------------------------ derived
+    @property
+    def effective_warmup_s(self) -> float:
+        """Warm-up length, capped at a quarter of the horizon."""
+        return min(self.warmup_s, self.horizon_s / 4.0)
+
+    @property
+    def effective_cooldown_s(self) -> float:
+        """Cool-down length, capped at a quarter of the horizon."""
+        return min(self.cooldown_s, self.horizon_s / 4.0)
+
+    @property
+    def measurement_window(self) -> tuple[float, float]:
+        """The window ``[warmup, horizon - cooldown]`` used for statistics."""
+        return self.effective_warmup_s, self.horizon_s - self.effective_cooldown_s
+
+    def workload_spec(self) -> WorkloadSpec:
+        """Workload-generator specification matching this configuration."""
+        return WorkloadSpec(
+            classes=self.classes,
+            min_duration_s=self.horizon_s,
+            share_tolerance=self.share_tolerance,
+            work_time_jitter=self.work_time_jitter,
+            headroom=self.headroom,
+        )
+
+    # ------------------------------------------------------------ variants
+    def with_strategy(self, strategy: str) -> "SimulationConfig":
+        """Copy of this configuration with a different strategy."""
+        return replace(self, strategy=strategy)
+
+    def with_seed(self, seed: int | None) -> "SimulationConfig":
+        """Copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+    def with_platform(self, platform: PlatformSpec) -> "SimulationConfig":
+        """Copy of this configuration with a different platform."""
+        return replace(self, platform=platform)

@@ -1,0 +1,12 @@
+"""Monte-Carlo statistics collection.
+
+* :mod:`repro.stats.summary` — distribution summaries (mean, quartiles and
+  deciles) matching the candlestick plots of the paper.
+* :mod:`repro.stats.montecarlo` — repeated evaluation of a stochastic
+  experiment over independent seeds.
+"""
+
+from repro.stats.summary import DistributionSummary, summarize
+from repro.stats.montecarlo import monte_carlo
+
+__all__ = ["DistributionSummary", "summarize", "monte_carlo"]

@@ -1,0 +1,65 @@
+"""Monte-Carlo driver.
+
+Each experiment of the paper is repeated over many randomly drawn initial
+conditions (job mixes and failure traces); :func:`monte_carlo` runs a
+user-provided experiment function once per derived seed and summarises the
+resulting sample.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.summary import DistributionSummary, summarize
+
+__all__ = ["monte_carlo", "derive_seeds"]
+
+
+def derive_seeds(base_seed: int | None, num_runs: int) -> list[int]:
+    """Derive ``num_runs`` independent 63-bit seeds from ``base_seed``.
+
+    The derivation uses :class:`numpy.random.SeedSequence` spawning, so the
+    i-th derived seed depends only on ``base_seed`` and ``i`` (not on how
+    many runs are requested), which lets a sweep grow its sample without
+    invalidating earlier runs.
+    """
+    if num_runs <= 0:
+        raise AnalysisError("num_runs must be positive")
+    root = np.random.SeedSequence(base_seed)
+    seeds: list[int] = []
+    for index in range(num_runs):
+        child = np.random.SeedSequence(
+            entropy=root.entropy if root.entropy is not None else 0,
+            spawn_key=(index,),
+        )
+        seeds.append(int(child.generate_state(1, dtype=np.uint64)[0] >> 1))
+    return seeds
+
+
+def monte_carlo(
+    experiment: Callable[[int], float],
+    *,
+    num_runs: int,
+    base_seed: int | None = None,
+    reduce: Callable[[list[float]], DistributionSummary] = summarize,
+) -> DistributionSummary:
+    """Run ``experiment(seed)`` for ``num_runs`` derived seeds and summarise.
+
+    Parameters
+    ----------
+    experiment:
+        Callable mapping a seed to a scalar metric (e.g. the waste ratio of
+        one simulation run).
+    num_runs:
+        Number of repetitions.
+    base_seed:
+        Root seed from which per-run seeds are derived.
+    reduce:
+        Reduction from the list of per-run values to a summary; defaults to
+        :func:`repro.stats.summary.summarize`.
+    """
+    values = [float(experiment(seed)) for seed in derive_seeds(base_seed, num_runs)]
+    return reduce(values)

@@ -1,0 +1,81 @@
+"""Distribution summaries for Monte-Carlo results.
+
+The paper reports each measurement as a candlestick: the box spans the first
+and third quartiles, the whiskers the first and ninth deciles, and the
+centre is the mean.  :class:`DistributionSummary` captures exactly those
+statistics (plus the median and extrema) for a sample of waste ratios or any
+other scalar metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["DistributionSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a scalar sample (candlestick-style)."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    decile1: float
+    quartile1: float
+    median: float
+    quartile3: float
+    decile9: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """All statistics as a plain dictionary (useful for tabulation)."""
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "d1": self.decile1,
+            "q1": self.quartile1,
+            "median": self.median,
+            "q3": self.quartile3,
+            "d9": self.decile9,
+            "max": self.maximum,
+        }
+
+    def format(self, precision: int = 3) -> str:
+        """Compact one-line rendering: ``mean [d1 q1 | q3 d9]``."""
+        p = precision
+        return (
+            f"{self.mean:.{p}f} "
+            f"[{self.decile1:.{p}f} {self.quartile1:.{p}f} | "
+            f"{self.quartile3:.{p}f} {self.decile9:.{p}f}]"
+        )
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    """Compute a :class:`DistributionSummary` from a sample of values."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise AnalysisError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(data)):
+        raise AnalysisError("sample contains non-finite values")
+    d1, q1, med, q3, d9 = np.percentile(data, [10.0, 25.0, 50.0, 75.0, 90.0])
+    return DistributionSummary(
+        n=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=0)),
+        minimum=float(data.min()),
+        decile1=float(d1),
+        quartile1=float(q1),
+        median=float(med),
+        quartile3=float(q3),
+        decile9=float(d9),
+        maximum=float(data.max()),
+    )

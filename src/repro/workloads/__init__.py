@@ -1,0 +1,29 @@
+"""Workload and platform definitions used by the paper's evaluation.
+
+* :mod:`repro.workloads.apex` — the four LANL application classes of the
+  APEX workflows report (Table 1 of the paper): EAP, LAP, Silverton, VPIC.
+* :mod:`repro.workloads.cielo` — the Cielo platform (§6.1).
+* :mod:`repro.workloads.prospective` — the prospective future system of
+  §6.2 (50 000 nodes, 7 PB of memory) and the APEX classes scaled to it.
+* :mod:`repro.workloads.generator` — random job-mix generation respecting
+  the per-class resource shares, as described in §5.
+"""
+
+from repro.workloads.apex import APEX_CLASSES, APEX_TABLE, ApexClassSpec, apex_workload
+from repro.workloads.cielo import CIELO, cielo_platform
+from repro.workloads.prospective import PROSPECTIVE, prospective_platform, prospective_workload
+from repro.workloads.generator import WorkloadSpec, generate_jobs
+
+__all__ = [
+    "APEX_CLASSES",
+    "APEX_TABLE",
+    "ApexClassSpec",
+    "apex_workload",
+    "CIELO",
+    "cielo_platform",
+    "PROSPECTIVE",
+    "prospective_platform",
+    "prospective_workload",
+    "WorkloadSpec",
+    "generate_jobs",
+]

@@ -1,0 +1,84 @@
+"""The LANL APEX workflow classes (Table 1 of the paper).
+
+The APEX workflows report characterises the four dominant LANL production
+workflows: EAP, LAP, Silverton and VPIC.  Table 1 of the paper lists, for
+each, the share of the platform it receives, the typical work time, the core
+count and the initial-input / final-output / checkpoint volumes expressed as
+percentages of the job's memory footprint.
+
+:data:`APEX_TABLE` reproduces the raw table; :func:`apex_workload` converts
+it into concrete :class:`~repro.apps.app_class.ApplicationClass` objects for
+a given platform (Cielo by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.app_class import ApplicationClass
+from repro.platform.spec import PlatformSpec
+from repro.units import HOUR
+from repro.workloads.cielo import CIELO
+
+__all__ = ["ApexClassSpec", "APEX_TABLE", "APEX_CLASSES", "apex_workload"]
+
+
+@dataclass(frozen=True)
+class ApexClassSpec:
+    """One row of Table 1 (percentages exactly as printed in the paper)."""
+
+    name: str
+    workload_percent: float
+    work_time_hours: float
+    cores: int
+    input_percent_of_memory: float
+    output_percent_of_memory: float
+    checkpoint_percent_of_memory: float
+
+
+#: Table 1 — "LANL Workflow Workload from the APEX Workflows report".
+APEX_TABLE: tuple[ApexClassSpec, ...] = (
+    ApexClassSpec("EAP", 66.0, 262.4, 16384, 3.0, 105.0, 160.0),
+    ApexClassSpec("LAP", 5.5, 64.0, 4096, 5.0, 220.0, 185.0),
+    ApexClassSpec("Silverton", 16.5, 128.0, 32768, 70.0, 43.0, 350.0),
+    ApexClassSpec("VPIC", 12.0, 157.2, 30000, 10.0, 270.0, 85.0),
+)
+
+#: Class names in table order.
+APEX_CLASSES: tuple[str, ...] = tuple(spec.name for spec in APEX_TABLE)
+
+
+def apex_workload(
+    platform: PlatformSpec | None = None,
+    *,
+    routine_io_fraction: float = 0.0,
+) -> list[ApplicationClass]:
+    """Instantiate the APEX classes for ``platform`` (Cielo by default).
+
+    Parameters
+    ----------
+    platform:
+        Platform whose per-node memory defines the job memory footprints and
+        hence the absolute input/output/checkpoint volumes.
+    routine_io_fraction:
+        Optional regular (non-checkpoint) I/O volume, as a fraction of the
+        memory footprint, spread over the job's makespan.  The paper's
+        Table 1 does not list it, so it defaults to 0.
+    """
+    platform = platform or CIELO
+    classes: list[ApplicationClass] = []
+    for spec in APEX_TABLE:
+        classes.append(
+            ApplicationClass.from_memory_fractions(
+                spec.name,
+                platform=platform,
+                cores=spec.cores,
+                work_s=spec.work_time_hours * HOUR,
+                input_fraction=spec.input_percent_of_memory / 100.0,
+                output_fraction=spec.output_percent_of_memory / 100.0,
+                checkpoint_fraction=spec.checkpoint_percent_of_memory / 100.0,
+                routine_io_fraction=routine_io_fraction,
+                workload_share=spec.workload_percent / 100.0,
+            )
+        )
+    return classes

@@ -1,0 +1,47 @@
+"""The Cielo platform (§6.1 of the paper).
+
+Cielo was a 1.37 Pflop/s capability system at LANL (2010-2016) with 143 104
+cores, 286 TB of main memory and a parallel file system with a theoretical
+peak of 160 GB/s.  We model it as 8 944 nodes of 16 cores and 32 GB each
+(143 104 / 16 = 8 944; 286 TB / 8 944 ≈ 32 GB), which is the granularity the
+job scheduler and the failure model operate at.
+
+The paper's reference failure scenario uses an individual-node MTBF of two
+years, i.e. a system MTBF of roughly one hour.
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import PlatformSpec
+from repro.units import GB, YEAR
+
+__all__ = ["CIELO", "cielo_platform"]
+
+#: Default Cielo description (160 GB/s file system, 2-year node MTBF).
+CIELO = PlatformSpec(
+    name="Cielo",
+    num_nodes=8944,
+    cores_per_node=16,
+    memory_per_node_bytes=32.0 * GB,
+    io_bandwidth_bytes_per_s=160.0 * GB,
+    node_mtbf_s=2.0 * YEAR,
+)
+
+
+def cielo_platform(
+    *,
+    bandwidth_gbs: float = 160.0,
+    node_mtbf_years: float = 2.0,
+) -> PlatformSpec:
+    """Cielo with a chosen file-system bandwidth and node MTBF.
+
+    Parameters
+    ----------
+    bandwidth_gbs:
+        Aggregate parallel-file-system bandwidth in GB/s (the paper sweeps
+        40-160 GB/s in Figure 1).
+    node_mtbf_years:
+        Individual-node MTBF in years (the paper sweeps 2-50 years in
+        Figure 2).
+    """
+    return CIELO.with_bandwidth(bandwidth_gbs * GB).with_node_mtbf(node_mtbf_years * YEAR)

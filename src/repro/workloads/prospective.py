@@ -1,0 +1,58 @@
+"""The prospective future system of §6.2.
+
+The paper projects the APEX workload onto a future platform with 50 000
+compute nodes and 7 PB of main memory (Aurora-class), scaling each class's
+problem size proportionally to the growth in machine memory.  The
+aggregate file-system bandwidth is the quantity under study in Figure 3
+(the minimum bandwidth needed to sustain 80 % efficiency), so it is a
+parameter rather than a fixed value.
+"""
+
+from __future__ import annotations
+
+from repro.apps.app_class import ApplicationClass
+from repro.platform.spec import PlatformSpec
+from repro.units import PB, TB, YEAR
+from repro.workloads.apex import apex_workload
+from repro.workloads.cielo import CIELO
+
+__all__ = ["PROSPECTIVE", "prospective_platform", "prospective_workload"]
+
+#: Default prospective system: 50 000 nodes, 7 PB of memory (140 GB/node),
+#: a 1 TB/s file system (overridden by the Figure 3 sweep) and a 15-year
+#: node MTBF.
+PROSPECTIVE = PlatformSpec(
+    name="Prospective",
+    num_nodes=50_000,
+    cores_per_node=64,
+    memory_per_node_bytes=7.0 * PB / 50_000,
+    io_bandwidth_bytes_per_s=1.0 * TB,
+    node_mtbf_s=15.0 * YEAR,
+)
+
+
+def prospective_platform(
+    *,
+    bandwidth_tbs: float = 1.0,
+    node_mtbf_years: float = 15.0,
+) -> PlatformSpec:
+    """The prospective system with a chosen bandwidth (TB/s) and node MTBF."""
+    return PROSPECTIVE.with_bandwidth(bandwidth_tbs * TB).with_node_mtbf(
+        node_mtbf_years * YEAR
+    )
+
+
+def prospective_workload(
+    platform: PlatformSpec | None = None,
+    *,
+    routine_io_fraction: float = 0.0,
+) -> list[ApplicationClass]:
+    """The APEX classes scaled from Cielo to the prospective system.
+
+    Per §6.2, each class keeps the same fraction of the machine (node share)
+    and the same work time, while its memory footprint — and therefore its
+    input, output and checkpoint volumes — grows with the machine's memory.
+    """
+    platform = platform or PROSPECTIVE
+    cielo_classes = apex_workload(CIELO, routine_io_fraction=routine_io_fraction)
+    return [app.scaled_to(platform, CIELO) for app in cielo_classes]

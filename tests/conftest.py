@@ -1,0 +1,79 @@
+"""Shared fixtures: a tiny platform and workload that simulate in milliseconds."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout even when the package has
+# not been installed (e.g. `pytest` straight after cloning).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.apps.app_class import ApplicationClass
+from repro.platform.spec import PlatformSpec
+from repro.simulation.config import SimulationConfig
+from repro.units import DAY, GB, HOUR
+
+
+@pytest.fixture
+def tiny_platform() -> PlatformSpec:
+    """A 16-node toy platform with a 1 GB/s file system."""
+    return PlatformSpec(
+        name="TestBox",
+        num_nodes=16,
+        cores_per_node=4,
+        memory_per_node_bytes=8.0 * GB,
+        io_bandwidth_bytes_per_s=1.0 * GB,
+        node_mtbf_s=60.0 * DAY,
+    )
+
+
+@pytest.fixture
+def tiny_classes() -> tuple[ApplicationClass, ApplicationClass]:
+    """Two small application classes filling the toy platform."""
+    alpha = ApplicationClass(
+        name="alpha",
+        nodes=4,
+        work_s=2.0 * HOUR,
+        input_bytes=2.0 * GB,
+        output_bytes=4.0 * GB,
+        checkpoint_bytes=8.0 * GB,
+        workload_share=0.6,
+    )
+    beta = ApplicationClass(
+        name="beta",
+        nodes=2,
+        work_s=1.0 * HOUR,
+        input_bytes=1.0 * GB,
+        output_bytes=2.0 * GB,
+        checkpoint_bytes=3.0 * GB,
+        workload_share=0.4,
+    )
+    return alpha, beta
+
+
+@pytest.fixture
+def tiny_config(tiny_platform, tiny_classes):
+    """Factory for quick simulation configurations on the toy platform."""
+
+    def make(strategy: str = "least-waste", **overrides) -> SimulationConfig:
+        parameters = dict(
+            platform=tiny_platform,
+            classes=tiny_classes,
+            strategy=strategy,
+            horizon_s=1.0 * DAY,
+            warmup_s=2.0 * HOUR,
+            cooldown_s=2.0 * HOUR,
+            seed=123,
+        )
+        parameters.update(overrides)
+        return SimulationConfig(**parameters)
+
+    return make

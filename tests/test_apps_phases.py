@@ -1,0 +1,49 @@
+"""Job states and I/O kinds (repro.apps.phases)."""
+
+from __future__ import annotations
+
+from repro.apps.phases import IOKind, JobState
+
+
+def test_terminal_states():
+    assert JobState.COMPLETED.terminal
+    assert JobState.FAILED.terminal
+    assert not JobState.COMPUTING.terminal
+    assert not JobState.PENDING.terminal
+
+
+def test_allocated_states():
+    assert not JobState.PENDING.allocated
+    assert not JobState.COMPLETED.allocated
+    assert not JobState.FAILED.allocated
+    for state in (
+        JobState.INPUT_IO,
+        JobState.COMPUTING,
+        JobState.CHECKPOINTING,
+        JobState.CHECKPOINT_WAIT,
+        JobState.OUTPUT_IO,
+        JobState.RECOVERY_IO,
+        JobState.REGULAR_IO,
+        JobState.IO_WAIT,
+    ):
+        assert state.allocated
+
+
+def test_io_kind_checkpoint_flag():
+    assert IOKind.CHECKPOINT.is_checkpoint
+    for kind in (IOKind.INPUT, IOKind.OUTPUT, IOKind.RECOVERY, IOKind.REGULAR):
+        assert not kind.is_checkpoint
+
+
+def test_io_kind_usefulness():
+    assert IOKind.INPUT.counts_as_useful
+    assert IOKind.OUTPUT.counts_as_useful
+    assert IOKind.REGULAR.counts_as_useful
+    assert not IOKind.CHECKPOINT.counts_as_useful
+    assert not IOKind.RECOVERY.counts_as_useful
+
+
+def test_enum_values_are_unique_strings():
+    values = [state.value for state in JobState]
+    assert len(values) == len(set(values))
+    assert all(isinstance(v, str) for v in values)

@@ -1,0 +1,79 @@
+"""Command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in ("table1", "lower-bound", "simulate", "figure1", "figure2", "figure3"):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "EAP" in out and "Silverton" in out
+
+
+def test_lower_bound_command(capsys):
+    assert main(["lower-bound", "--bandwidth-gbs", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "waste lower bound" in out
+    assert "EAP" in out
+
+
+def test_simulate_command_small(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--strategy",
+                "least-waste",
+                "--bandwidth-gbs",
+                "80",
+                "--horizon-days",
+                "1.0",
+                "--seed",
+                "0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "waste ratio" in out
+    assert "least-waste" in out
+
+
+def test_figure1_command_small(capsys):
+    assert (
+        main(
+            [
+                "figure1",
+                "--bandwidths-gbs",
+                "80",
+                "--num-runs",
+                "1",
+                "--horizon-days",
+                "1.0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "least-waste" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_simulate_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--strategy", "bogus"])

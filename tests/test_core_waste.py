@@ -1,0 +1,81 @@
+"""Waste models, Eq. (3) and (4)/(7) (repro.core.waste)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.daly import young_period
+from repro.core.waste import job_waste, optimal_job_waste, platform_waste
+from repro.errors import AnalysisError
+
+
+def test_job_waste_matches_hand_computation():
+    # C=100s, P=3600s, R=100s, q=10, mu_ind=1e6 s.
+    expected = 100.0 / 3600.0 + (10.0 / 1e6) * (3600.0 / 2.0 + 100.0)
+    assert job_waste(3600.0, 100.0, 100.0, 10.0, 1e6) == pytest.approx(expected)
+
+
+def test_job_waste_minimized_at_daly_period():
+    c, r, q, mu_ind = 200.0, 200.0, 16.0, 5e6
+    p_opt = young_period(c, mu_ind / q)
+    w_opt = job_waste(p_opt, c, r, q, mu_ind)
+    for factor in (0.25, 0.5, 0.8, 1.25, 2.0, 4.0):
+        assert job_waste(p_opt * factor, c, r, q, mu_ind) >= w_opt - 1e-12
+
+
+def test_optimal_job_waste_returns_daly_period_and_matching_waste():
+    c, r, q, mu_ind = 150.0, 150.0, 8.0, 2e6
+    period, waste = optimal_job_waste(c, r, q, mu_ind)
+    assert period == pytest.approx(young_period(c, mu_ind / q))
+    assert waste == pytest.approx(job_waste(period, c, r, q, mu_ind))
+
+
+def test_platform_waste_is_node_weighted_average():
+    # Two classes, equal waste -> platform waste equals that value scaled by
+    # the fraction of the platform they occupy.
+    w = platform_waste(
+        periods=[3600.0, 3600.0],
+        checkpoint_times=[100.0, 100.0],
+        recovery_times=[100.0, 100.0],
+        qs=[10.0, 10.0],
+        counts=[5.0, 5.0],
+        total_nodes=100.0,
+        mu_ind=1e6,
+    )
+    single = job_waste(3600.0, 100.0, 100.0, 10.0, 1e6)
+    assert w == pytest.approx(single)  # 10 jobs x 10 nodes fill all 100 nodes
+
+
+def test_platform_waste_scales_with_occupancy():
+    args = dict(
+        periods=[3600.0],
+        checkpoint_times=[100.0],
+        recovery_times=[100.0],
+        qs=[10.0],
+        mu_ind=1e6,
+    )
+    full = platform_waste(counts=[10.0], total_nodes=100.0, **args)
+    half = platform_waste(counts=[5.0], total_nodes=100.0, **args)
+    assert half == pytest.approx(0.5 * full)
+
+
+def test_platform_waste_input_validation():
+    with pytest.raises(AnalysisError):
+        platform_waste([3600.0], [100.0], [100.0], [10.0], [1.0, 2.0], 100.0, 1e6)
+    with pytest.raises(AnalysisError):
+        platform_waste([], [], [], [], [], 100.0, 1e6)
+    with pytest.raises(AnalysisError):
+        platform_waste([0.0], [100.0], [100.0], [10.0], [1.0], 100.0, 1e6)
+    with pytest.raises(AnalysisError):
+        platform_waste([3600.0], [100.0], [100.0], [10.0], [1.0], 0.0, 1e6)
+
+
+def test_job_waste_input_validation():
+    with pytest.raises(AnalysisError):
+        job_waste(0.0, 100.0, 100.0, 10.0, 1e6)
+    with pytest.raises(AnalysisError):
+        job_waste(3600.0, -1.0, 100.0, 10.0, 1e6)
+    with pytest.raises(AnalysisError):
+        job_waste(3600.0, 100.0, 100.0, 0.0, 1e6)
+    with pytest.raises(AnalysisError):
+        optimal_job_waste(0.0, 100.0, 10.0, 1e6)

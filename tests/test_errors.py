@@ -1,0 +1,32 @@
+"""Exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [ConfigurationError, SchedulingError, SimulationError, AnalysisError],
+)
+def test_all_errors_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+    with pytest.raises(ReproError):
+        raise exc_type("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_errors_are_distinct():
+    assert not issubclass(ConfigurationError, SimulationError)
+    assert not issubclass(SimulationError, ConfigurationError)

@@ -1,0 +1,68 @@
+"""Theoretical-model experiment helpers (repro.experiments.theory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.theory import steady_state_classes, theoretical_waste
+from repro.workloads.apex import apex_workload
+from repro.workloads.cielo import cielo_platform
+from repro.units import HOUR
+
+
+def test_steady_state_counts_follow_workload_shares():
+    platform = cielo_platform(bandwidth_gbs=80.0)
+    workload = apex_workload(platform)
+    classes = {c.name: c for c in steady_state_classes(workload, platform)}
+    # EAP: 66% of 8944 nodes spread over 1024-node jobs.
+    assert classes["EAP"].count == pytest.approx(0.66 * 8944 / 1024, rel=1e-6)
+    assert classes["EAP"].nodes == 1024.0
+    # Checkpoint time is size / bandwidth.
+    eap = next(a for a in workload if a.name == "EAP")
+    assert classes["EAP"].checkpoint_time == pytest.approx(eap.checkpoint_bytes / (80e9))
+    # Counts add up to (almost) the full machine.
+    total_nodes = sum(c.count * c.nodes for c in classes.values())
+    assert total_nodes == pytest.approx(platform.num_nodes, rel=0.01)
+
+
+def test_theoretical_waste_decreases_with_bandwidth_and_reliability():
+    workload_40 = apex_workload(cielo_platform(bandwidth_gbs=40.0))
+    bound_40 = theoretical_waste(workload_40, cielo_platform(bandwidth_gbs=40.0))
+    bound_160 = theoretical_waste(apex_workload(cielo_platform(bandwidth_gbs=160.0)), cielo_platform(bandwidth_gbs=160.0))
+    assert bound_160.waste < bound_40.waste
+
+    fragile = cielo_platform(bandwidth_gbs=40.0, node_mtbf_years=2.0)
+    reliable = cielo_platform(bandwidth_gbs=40.0, node_mtbf_years=50.0)
+    assert (
+        theoretical_waste(apex_workload(reliable), reliable).waste
+        < theoretical_waste(apex_workload(fragile), fragile).waste
+    )
+
+
+def test_theoretical_periods_are_daly_when_unconstrained():
+    platform = cielo_platform(bandwidth_gbs=160.0)
+    bound = theoretical_waste(apex_workload(platform), platform)
+    assert not bound.constrained
+    assert bound.periods == bound.daly_periods
+    # Sanity: periods are hours-scale, not seconds or days.
+    assert all(0.5 * HOUR < p < 24 * HOUR for p in bound.periods)
+
+
+def test_constraint_activates_at_very_low_bandwidth():
+    platform = cielo_platform(bandwidth_gbs=10.0)
+    bound = theoretical_waste(apex_workload(platform), platform)
+    assert bound.constrained
+    assert bound.io_pressure == pytest.approx(1.0, rel=1e-6)
+    assert bound.waste_fraction < bound.waste
+
+
+def test_requires_nonempty_workload_with_shares(tiny_platform, tiny_classes):
+    with pytest.raises(AnalysisError):
+        theoretical_waste([], tiny_platform)
+    shareless = [
+        tiny_classes[0].__class__(**{**tiny_classes[0].__dict__, "workload_share": 0.0}),
+        tiny_classes[1].__class__(**{**tiny_classes[1].__dict__, "workload_share": 0.0}),
+    ]
+    with pytest.raises(AnalysisError):
+        steady_state_classes(shareless, tiny_platform)

@@ -1,0 +1,150 @@
+"""Cross-strategy integration tests on identical initial conditions.
+
+These tests replay the *same* job mix and the *same* failure trace under
+every strategy and check the qualitative relationships the paper reports,
+at a scale small enough for the unit-test suite (the full-scale shape checks
+live in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iosched.registry import STRATEGIES
+from repro.platform.failures import generate_failure_trace
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+from repro.units import DAY, GB, HOUR, YEAR
+from repro.apps.app_class import ApplicationClass
+from repro.platform.spec import PlatformSpec
+from repro.workloads.generator import WorkloadSpec, generate_jobs
+
+
+@pytest.fixture(scope="module")
+def contended_platform() -> PlatformSpec:
+    """A platform whose file system is clearly under-provisioned."""
+    return PlatformSpec(
+        name="Contended",
+        num_nodes=64,
+        cores_per_node=1,
+        memory_per_node_bytes=16.0 * GB,
+        io_bandwidth_bytes_per_s=0.5 * GB,
+        # A deliberately fragile machine (node MTBF ~ 36 days, system MTBF
+        # ~ 14 h) so that the Daly periods fall well below the job durations
+        # and every strategy takes checkpoints during the 2-day segment.
+        node_mtbf_s=0.1 * YEAR,
+    )
+
+
+@pytest.fixture(scope="module")
+def contended_classes() -> tuple[ApplicationClass, ...]:
+    return (
+        ApplicationClass(
+            name="heavy",
+            nodes=16,
+            work_s=6 * HOUR,
+            input_bytes=8 * GB,
+            output_bytes=32 * GB,
+            checkpoint_bytes=256 * GB,
+            workload_share=0.7,
+        ),
+        ApplicationClass(
+            name="light",
+            nodes=8,
+            work_s=5 * HOUR,
+            input_bytes=4 * GB,
+            output_bytes=16 * GB,
+            checkpoint_bytes=64 * GB,
+            workload_share=0.3,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def strategy_results(contended_platform, contended_classes):
+    """One result per strategy, all on identical initial conditions."""
+    horizon = 2.0 * DAY
+    spec = WorkloadSpec(classes=contended_classes, min_duration_s=horizon)
+    jobs_template = generate_jobs(spec, contended_platform, np.random.default_rng(1234))
+    trace = generate_failure_trace(contended_platform, horizon, np.random.default_rng(99))
+
+    results = {}
+    for strategy in STRATEGIES:
+        config = SimulationConfig(
+            platform=contended_platform,
+            classes=contended_classes,
+            strategy=strategy,
+            horizon_s=horizon,
+            warmup_s=3 * HOUR,
+            cooldown_s=3 * HOUR,
+            seed=0,
+        )
+        # Fresh Job objects per run (jobs are mutable), same characteristics.
+        jobs = [
+            type(job)(
+                app_class=job.app_class,
+                total_work_s=job.total_work_s,
+                submit_time=job.submit_time,
+                priority=job.priority,
+            )
+            for job in jobs_template
+        ]
+        results[strategy] = Simulation(config, jobs=jobs, failure_trace=trace).run()
+    return results
+
+
+def test_all_strategies_produce_valid_results(strategy_results):
+    for strategy, result in strategy_results.items():
+        assert result.strategy == strategy
+        assert 0.0 <= result.waste_ratio <= 1.0
+        assert result.node_utilization > 0.5
+        assert result.checkpoints_completed > 0
+        assert result.breakdown.compute > 0.0
+
+
+def test_nonblocking_beats_blocking_with_same_period(strategy_results):
+    """Decoupling compute from file-system availability reduces waste (§6.1)."""
+    assert (
+        strategy_results["orderednb-fixed"].waste_ratio
+        <= strategy_results["ordered-fixed"].waste_ratio + 0.02
+    )
+    assert (
+        strategy_results["orderednb-daly"].waste_ratio
+        <= strategy_results["ordered-daly"].waste_ratio + 0.02
+    )
+
+
+def test_daly_periods_beat_hourly_fixed_under_contention(strategy_results):
+    """On an under-provisioned file system, hourly checkpointing is too much I/O."""
+    assert (
+        strategy_results["oblivious-daly"].waste_ratio
+        <= strategy_results["oblivious-fixed"].waste_ratio + 0.02
+    )
+    assert (
+        strategy_results["ordered-daly"].waste_ratio
+        <= strategy_results["ordered-fixed"].waste_ratio + 0.02
+    )
+
+
+def test_least_waste_is_competitive_with_every_other_strategy(strategy_results):
+    """Least-Waste is the paper's best performer; allow a small noise margin."""
+    least = strategy_results["least-waste"].waste_ratio
+    for strategy, result in strategy_results.items():
+        assert least <= result.waste_ratio + 0.06, (
+            f"least-waste ({least:.3f}) unexpectedly much worse than "
+            f"{strategy} ({result.waste_ratio:.3f})"
+        )
+
+
+def test_blocking_strategies_accumulate_wait_time(strategy_results):
+    assert strategy_results["ordered-fixed"].breakdown.checkpoint_wait > 0.0
+    assert strategy_results["orderednb-fixed"].breakdown.checkpoint_wait == 0.0
+    assert strategy_results["least-waste"].breakdown.checkpoint_wait == 0.0
+    # Oblivious never waits for a token either; its cost shows up as dilation.
+    assert strategy_results["oblivious-fixed"].breakdown.checkpoint_wait == 0.0
+
+
+def test_identical_failure_trace_used_across_strategies(strategy_results):
+    totals = {result.failures_total for result in strategy_results.values()}
+    assert len(totals) == 1

@@ -1,0 +1,68 @@
+"""Strategy registry (repro.iosched.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.checkpoint_policy import DalyPolicy, FixedPolicy
+from repro.errors import ConfigurationError
+from repro.iosched.least_waste import LeastWasteScheduler
+from repro.iosched.oblivious import ObliviousScheduler
+from repro.iosched.ordered import OrderedScheduler
+from repro.iosched.ordered_nb import OrderedNBScheduler
+from repro.iosched.registry import STRATEGIES, make_strategy, strategy_names
+from repro.platform.io_subsystem import IOSubsystem
+from repro.sim.engine import SimulationEngine
+
+
+def test_the_seven_paper_strategies_are_registered():
+    assert len(STRATEGIES) == 7
+    assert strategy_names() == STRATEGIES
+    assert "least-waste" in STRATEGIES
+    assert "oblivious-fixed" in STRATEGIES
+    assert "orderednb-daly" in STRATEGIES
+
+
+@pytest.mark.parametrize(
+    ("name", "scheduler_cls", "policy_cls"),
+    [
+        ("oblivious-fixed", ObliviousScheduler, FixedPolicy),
+        ("oblivious-daly", ObliviousScheduler, DalyPolicy),
+        ("ordered-fixed", OrderedScheduler, FixedPolicy),
+        ("ordered-daly", OrderedScheduler, DalyPolicy),
+        ("orderednb-fixed", OrderedNBScheduler, FixedPolicy),
+        ("orderednb-daly", OrderedNBScheduler, DalyPolicy),
+        ("least-waste", LeastWasteScheduler, DalyPolicy),
+    ],
+)
+def test_strategy_composition(name, scheduler_cls, policy_cls):
+    strategy = make_strategy(name)
+    assert strategy.name == name
+    assert strategy.scheduler_cls is scheduler_cls
+    assert isinstance(strategy.policy, policy_cls)
+    assert strategy.nonblocking_checkpoints == scheduler_cls.nonblocking_checkpoints
+    assert strategy.shares_bandwidth == scheduler_cls.shares_bandwidth
+    assert strategy.label  # human-readable label exists
+
+
+def test_make_strategy_is_case_insensitive_and_validates():
+    assert make_strategy("Least-Waste").name == "least-waste"
+    with pytest.raises(ConfigurationError):
+        make_strategy("round-robin")
+
+
+def test_fixed_period_override_propagates():
+    strategy = make_strategy("ordered-fixed", fixed_period_s=1800.0)
+    assert isinstance(strategy.policy, FixedPolicy)
+    assert strategy.policy.period_s == 1800.0
+
+
+def test_make_scheduler_instantiates_against_engine_and_io():
+    engine = SimulationEngine()
+    io = IOSubsystem(engine, bandwidth_bytes_per_s=1e9)
+    for name in STRATEGIES:
+        scheduler = make_strategy(name).make_scheduler(engine, io, node_mtbf_s=1e6)
+        assert scheduler.engine is engine
+        assert scheduler.io is io
+        assert scheduler.pending_requests() == ()
+        assert scheduler.active_requests() == ()

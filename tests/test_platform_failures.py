@@ -1,0 +1,76 @@
+"""Failure trace generation (repro.platform.failures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.failures import FailureEvent, FailureTrace, generate_failure_trace
+from repro.units import DAY
+
+
+def test_trace_is_sorted_and_indexable():
+    events = [FailureEvent(5.0, 1), FailureEvent(1.0, 2), FailureEvent(3.0, 0)]
+    trace = FailureTrace(events, horizon=10.0)
+    assert [e.time for e in trace] == [1.0, 3.0, 5.0]
+    assert trace[0].node_id == 2
+    assert len(trace) == 3
+    assert trace.horizon == 10.0
+
+
+def test_trace_rejects_out_of_horizon_events():
+    with pytest.raises(ConfigurationError):
+        FailureTrace([FailureEvent(11.0, 0)], horizon=10.0)
+    with pytest.raises(ConfigurationError):
+        FailureTrace([FailureEvent(-1.0, 0)], horizon=10.0)
+
+
+def test_empirical_mtbf():
+    trace = FailureTrace([FailureEvent(2.0, 0), FailureEvent(8.0, 1)], horizon=10.0)
+    assert trace.empirical_mtbf() == pytest.approx(5.0)
+    assert FailureTrace([], horizon=10.0).empirical_mtbf() == float("inf")
+
+
+def test_between_filters_by_time():
+    events = [FailureEvent(float(t), t) for t in range(10)]
+    trace = FailureTrace(events, horizon=20.0)
+    window = trace.between(3.0, 6.0)
+    assert [e.time for e in window] == [3.0, 4.0, 5.0]
+
+
+def test_numpy_views():
+    trace = FailureTrace([FailureEvent(1.0, 4), FailureEvent(2.0, 7)], horizon=5.0)
+    assert np.allclose(trace.times, [1.0, 2.0])
+    assert list(trace.node_ids) == [4, 7]
+
+
+def test_generate_failure_trace_statistics(tiny_platform):
+    horizon = 200.0 * DAY
+    rng = np.random.default_rng(0)
+    trace = generate_failure_trace(tiny_platform, horizon, rng)
+    # Expected count = horizon / system MTBF; allow generous statistical slack.
+    expected = horizon / tiny_platform.system_mtbf_s
+    assert 0.5 * expected < len(trace) < 1.7 * expected
+    assert all(0.0 <= e.time <= horizon for e in trace)
+    assert all(0 <= e.node_id < tiny_platform.num_nodes for e in trace)
+    # Times are strictly increasing (exponential gaps are a.s. positive).
+    times = trace.times
+    assert np.all(np.diff(times) > 0.0)
+
+
+def test_generate_failure_trace_is_reproducible(tiny_platform):
+    a = generate_failure_trace(tiny_platform, 30 * DAY, np.random.default_rng(42))
+    b = generate_failure_trace(tiny_platform, 30 * DAY, np.random.default_rng(42))
+    assert np.allclose(a.times, b.times)
+    assert list(a.node_ids) == list(b.node_ids)
+
+
+def test_generate_failure_trace_zero_horizon(tiny_platform):
+    trace = generate_failure_trace(tiny_platform, 0.0, np.random.default_rng(1))
+    assert len(trace) == 0
+
+
+def test_generate_failure_trace_negative_horizon_rejected(tiny_platform):
+    with pytest.raises(ConfigurationError):
+        generate_failure_trace(tiny_platform, -1.0, np.random.default_rng(1))

@@ -1,0 +1,84 @@
+"""Node pool allocation (repro.platform.nodes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.platform.nodes import NodePool
+
+
+def test_initial_state():
+    pool = NodePool(8)
+    assert pool.num_nodes == 8
+    assert pool.num_free == 8
+    assert pool.num_allocated == 0
+    assert pool.utilization == 0.0
+
+
+def test_allocate_lowest_numbered_nodes_first():
+    pool = NodePool(8)
+    owner = object()
+    assert pool.allocate(3, owner) == [0, 1, 2]
+    assert pool.num_free == 5
+    assert pool.utilization == pytest.approx(3 / 8)
+
+
+def test_owner_tracking_and_release():
+    pool = NodePool(8)
+    a, b = object(), object()
+    nodes_a = pool.allocate(2, a)
+    nodes_b = pool.allocate(3, b)
+    assert pool.owner_of(nodes_a[0]) is a
+    assert pool.owner_of(nodes_b[0]) is b
+    assert sorted(pool.nodes_of(b)) == nodes_b
+    pool.release(nodes_a)
+    assert pool.owner_of(nodes_a[0]) is None
+    assert pool.num_free == 8 - 3
+
+
+def test_release_owner_releases_everything_and_reports_it():
+    pool = NodePool(8)
+    owner = object()
+    nodes = pool.allocate(4, owner)
+    released = pool.release_owner(owner)
+    assert sorted(released) == nodes
+    assert pool.num_free == 8
+    # Releasing an owner with no nodes is a no-op.
+    assert pool.release_owner(owner) == []
+
+
+def test_released_nodes_are_reused():
+    pool = NodePool(4)
+    a = object()
+    nodes = pool.allocate(4, a)
+    pool.release(nodes[:2])
+    b = object()
+    assert pool.allocate(2, b) == nodes[:2]
+
+
+def test_cannot_overallocate():
+    pool = NodePool(4)
+    pool.allocate(3, object())
+    assert not pool.can_allocate(2)
+    assert pool.can_allocate(1)
+    with pytest.raises(SchedulingError):
+        pool.allocate(2, object())
+
+
+def test_invalid_operations_rejected():
+    pool = NodePool(4)
+    with pytest.raises(SchedulingError):
+        pool.allocate(0, object())
+    with pytest.raises(SchedulingError):
+        pool.release([0])  # node 0 is already free
+    with pytest.raises(SchedulingError):
+        pool.owner_of(99)
+    with pytest.raises(SchedulingError):
+        NodePool(0)
+
+
+def test_can_allocate_rejects_non_positive_counts():
+    pool = NodePool(4)
+    assert not pool.can_allocate(0)
+    assert not pool.can_allocate(-2)

@@ -1,0 +1,89 @@
+"""Event queue (repro.sim.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    fired: list[str] = []
+    queue.push(3.0, fired.append, "c")
+    queue.push(1.0, fired.append, "a")
+    queue.push(2.0, fired.append, "b")
+    while queue:
+        event = queue.pop_next()
+        event.callback(*event.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    queue = EventQueue()
+    order: list[int] = []
+    for index in range(10):
+        queue.push(5.0, order.append, index)
+    while queue:
+        event = queue.pop_next()
+        event.callback(*event.args)
+    assert order == list(range(10))
+
+
+def test_len_counts_only_active_events():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(first)
+    assert len(queue) == 1
+    # Cancelling twice is a no-op.
+    queue.cancel(first)
+    assert len(queue) == 1
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired: list[str] = []
+    keep = queue.push(1.0, fired.append, "keep")
+    drop = queue.push(0.5, fired.append, "drop")
+    queue.cancel(drop)
+    event = queue.pop_next()
+    assert event is keep
+    assert queue.pop_next() is None
+
+
+def test_peek_time_skips_cancelled_events():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    queue.cancel(early)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop_next() is None
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(float("nan"), lambda: None)
+
+
+def test_event_active_flag():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert event.active
+    queue.cancel(event)
+    assert not event.active

@@ -1,0 +1,44 @@
+"""Failure-free baseline usage (repro.simulation.baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.job import Job
+from repro.platform.failures import FailureTrace
+from repro.simulation.baseline import baseline_job_node_seconds, baseline_node_seconds
+from repro.simulation.simulator import Simulation
+from repro.units import DAY, HOUR
+
+
+def test_baseline_of_one_job_is_work_plus_undilated_io(tiny_platform, tiny_classes):
+    job = Job(app_class=tiny_classes[0], total_work_s=2 * HOUR)
+    bandwidth = tiny_platform.io_bandwidth_bytes_per_s
+    io_time = (tiny_classes[0].input_bytes + tiny_classes[0].output_bytes) / bandwidth
+    expected = job.nodes * (2 * HOUR + io_time)
+    assert baseline_job_node_seconds(job, tiny_platform) == pytest.approx(expected)
+
+
+def test_baseline_sums_over_jobs(tiny_platform, tiny_classes):
+    jobs = [
+        Job(app_class=tiny_classes[0], total_work_s=2 * HOUR),
+        Job(app_class=tiny_classes[1], total_work_s=1 * HOUR),
+    ]
+    total = baseline_node_seconds(jobs, tiny_platform)
+    assert total == pytest.approx(sum(baseline_job_node_seconds(j, tiny_platform) for j in jobs))
+
+
+def test_simulated_useful_work_matches_baseline_without_failures(tiny_config, tiny_classes):
+    """With no failures and the full window measured, the useful node-seconds
+    recorded by the simulator equal the analytic baseline of the completed
+    jobs (compute + un-dilated application I/O)."""
+    config = tiny_config("least-waste", horizon_s=1 * DAY, warmup_s=0.0, cooldown_s=0.0)
+    jobs = [
+        Job(app_class=tiny_classes[0], total_work_s=3 * HOUR, priority=0.0),
+        Job(app_class=tiny_classes[1], total_work_s=2 * HOUR, priority=1.0),
+    ]
+    sim = Simulation(config, jobs=jobs, failure_trace=FailureTrace([], config.horizon_s))
+    result = sim.run()
+    assert result.jobs_completed == 2
+    expected_useful = baseline_node_seconds(jobs, config.platform)
+    assert result.breakdown.useful == pytest.approx(expected_useful, rel=1e-6)

@@ -1,0 +1,217 @@
+"""Conservation and edge-case invariants of the full simulator.
+
+These complement the scenario tests in ``test_simulation_simulator.py`` with
+randomized-but-bounded checks (hypothesis) and corner-case workloads (jobs
+without input or output, jobs smaller than one checkpoint period, horizons
+that cut jobs mid-flight).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.app_class import ApplicationClass
+from repro.apps.job import Job
+from repro.platform.failures import FailureEvent, FailureTrace
+from repro.platform.spec import PlatformSpec
+from repro.simulation.baseline import baseline_node_seconds
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+from repro.units import DAY, GB, HOUR, YEAR
+
+
+def small_platform(bandwidth_gb: float = 1.0) -> PlatformSpec:
+    return PlatformSpec(
+        name="inv",
+        num_nodes=32,
+        cores_per_node=1,
+        memory_per_node_bytes=8.0 * GB,
+        io_bandwidth_bytes_per_s=bandwidth_gb * GB,
+        node_mtbf_s=2.0 * YEAR,
+    )
+
+
+def make_class(nodes: int, work_hours: float, ckpt_gb: float, share: float) -> ApplicationClass:
+    return ApplicationClass(
+        name=f"c{nodes}",
+        nodes=nodes,
+        work_s=work_hours * HOUR,
+        input_bytes=1.0 * GB,
+        output_bytes=2.0 * GB,
+        checkpoint_bytes=ckpt_gb * GB,
+        workload_share=share,
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    strategy=st.sampled_from(["oblivious-fixed", "ordered-daly", "orderednb-fixed", "least-waste"]),
+    nodes_a=st.integers(min_value=2, max_value=12),
+    nodes_b=st.integers(min_value=2, max_value=12),
+    work_a=st.floats(min_value=1.0, max_value=6.0),
+    work_b=st.floats(min_value=1.0, max_value=6.0),
+    failure_hour=st.floats(min_value=0.2, max_value=20.0),
+    failure_node=st.integers(min_value=0, max_value=31),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_randomized_small_scenarios_respect_invariants(
+    strategy, nodes_a, nodes_b, work_a, work_b, failure_hour, failure_node, seed
+):
+    platform = small_platform()
+    classes = (
+        make_class(nodes_a, work_a, ckpt_gb=4.0, share=0.5),
+        make_class(nodes_b, work_b, ckpt_gb=2.0, share=0.5),
+    )
+    config = SimulationConfig(
+        platform=platform,
+        classes=classes,
+        strategy=strategy,
+        horizon_s=1.0 * DAY,
+        warmup_s=1.0 * HOUR,
+        cooldown_s=1.0 * HOUR,
+        seed=seed,
+    )
+    trace = FailureTrace([FailureEvent(failure_hour * HOUR, failure_node)], config.horizon_s)
+    jobs = [
+        Job(app_class=classes[0], total_work_s=work_a * HOUR, priority=0.0),
+        Job(app_class=classes[1], total_work_s=work_b * HOUR, priority=1.0),
+    ]
+    sim = Simulation(config, jobs=jobs, failure_trace=trace)
+    result = sim.run()
+
+    breakdown = result.breakdown
+    # Ratios are well-formed.
+    assert 0.0 <= result.waste_ratio <= 1.0
+    assert 0.0 <= result.efficiency <= 1.0
+    assert result.waste_ratio == pytest.approx(1.0 - result.efficiency)
+    # No category other than compute may be negative (compute can dip only
+    # through the lost-work move, which these single-failure scenarios keep
+    # far from negative territory).
+    assert breakdown.compute >= -1e-6
+    for value in (
+        breakdown.base_io,
+        breakdown.io_delay,
+        breakdown.checkpoint,
+        breakdown.checkpoint_wait,
+        breakdown.recovery,
+        breakdown.lost_work,
+    ):
+        assert value >= 0.0
+    # Accounted node-seconds never exceed the allocated node-seconds.
+    assert breakdown.useful + breakdown.waste <= breakdown.allocated + 1e-6
+    # Job conservation: submitted jobs either finished, failed, or are still
+    # running/pending at the horizon; restarts mirror failures.
+    assert result.jobs_completed + result.jobs_failed <= result.jobs_submitted + result.restarts_submitted
+    assert result.restarts_submitted == result.jobs_failed
+    assert result.failures_effective <= result.failures_total == 1
+    # Checkpoints: completions never exceed requests.
+    assert result.checkpoints_completed <= result.checkpoints_requested
+
+
+@pytest.mark.parametrize("strategy", ["ordered-fixed", "least-waste"])
+def test_job_without_input_or_output(strategy):
+    platform = small_platform()
+    app = ApplicationClass(
+        name="no-io",
+        nodes=4,
+        work_s=2 * HOUR,
+        input_bytes=0.0,
+        output_bytes=0.0,
+        checkpoint_bytes=4.0 * GB,
+        workload_share=1.0,
+    )
+    config = SimulationConfig(
+        platform=platform,
+        classes=(app,),
+        strategy=strategy,
+        horizon_s=1.0 * DAY,
+        warmup_s=0.0,
+        cooldown_s=0.0,
+        seed=0,
+    )
+    sim = Simulation(
+        config,
+        jobs=[Job(app_class=app, total_work_s=2 * HOUR)],
+        failure_trace=FailureTrace([], config.horizon_s),
+    )
+    result = sim.run()
+    assert result.jobs_completed == 1
+    assert result.breakdown.base_io == 0.0
+    # With no input/output, useful work is exactly the compute time.
+    assert result.breakdown.compute == pytest.approx(4 * 2 * HOUR, rel=1e-9)
+
+
+def test_job_shorter_than_checkpoint_period_never_checkpoints():
+    platform = small_platform()
+    app = make_class(4, work_hours=0.5, ckpt_gb=4.0, share=1.0)
+    config = SimulationConfig(
+        platform=platform,
+        classes=(app,),
+        strategy="ordered-fixed",  # 1-hour period > 0.5 hour of work
+        horizon_s=0.5 * DAY,
+        warmup_s=0.0,
+        cooldown_s=0.0,
+        seed=0,
+    )
+    sim = Simulation(
+        config,
+        jobs=[Job(app_class=app, total_work_s=0.5 * HOUR)],
+        failure_trace=FailureTrace([], config.horizon_s),
+    )
+    result = sim.run()
+    assert result.jobs_completed == 1
+    assert result.checkpoints_completed == 0
+    assert result.breakdown.checkpoint == 0.0
+
+
+def test_horizon_cuts_job_mid_flight_without_errors():
+    platform = small_platform(bandwidth_gb=0.05)  # slow file system
+    app = make_class(4, work_hours=30.0, ckpt_gb=16.0, share=1.0)
+    config = SimulationConfig(
+        platform=platform,
+        classes=(app,),
+        strategy="orderednb-daly",
+        horizon_s=0.25 * DAY,
+        warmup_s=0.0,
+        cooldown_s=0.0,
+        seed=0,
+    )
+    sim = Simulation(
+        config,
+        jobs=[Job(app_class=app, total_work_s=30 * HOUR)],
+        failure_trace=FailureTrace([], config.horizon_s),
+    )
+    result = sim.run()
+    # Nothing completed, but the accounting still closed cleanly at the horizon.
+    assert result.jobs_completed == 0
+    assert result.breakdown.compute > 0.0
+    assert result.breakdown.useful + result.breakdown.waste <= result.breakdown.allocated + 1e-6
+
+
+def test_useful_work_bounded_by_baseline_of_submitted_jobs():
+    """Even with failures, the useful node-seconds recorded in the window can
+    never exceed the failure-free baseline of everything submitted (original
+    jobs; restarts only redo work already paid for)."""
+    platform = small_platform()
+    classes = (make_class(8, 4.0, 8.0, 0.6), make_class(4, 2.0, 4.0, 0.4))
+    config = SimulationConfig(
+        platform=platform,
+        classes=classes,
+        strategy="least-waste",
+        horizon_s=1.0 * DAY,
+        warmup_s=0.0,
+        cooldown_s=0.0,
+        seed=3,
+    )
+    jobs = [
+        Job(app_class=classes[0], total_work_s=4 * HOUR, priority=0.0),
+        Job(app_class=classes[1], total_work_s=2 * HOUR, priority=1.0),
+        Job(app_class=classes[1], total_work_s=2 * HOUR, priority=2.0),
+    ]
+    trace = FailureTrace([FailureEvent(2 * HOUR, 0), FailureEvent(5 * HOUR, 9)], config.horizon_s)
+    sim = Simulation(config, jobs=jobs, failure_trace=trace)
+    result = sim.run()
+    baseline = baseline_node_seconds(jobs, platform)
+    assert result.breakdown.useful <= baseline + 1e-6

@@ -1,0 +1,77 @@
+"""Per-job execution traces (repro.simulation.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.job import Job
+from repro.platform.failures import FailureEvent, FailureTrace
+from repro.simulation.simulator import Simulation
+from repro.simulation.trace import TraceEventType, TraceRecorder
+from repro.units import DAY, HOUR
+
+
+def test_recorder_basic_bookkeeping(tiny_classes):
+    recorder = TraceRecorder()
+    job = Job(app_class=tiny_classes[0], total_work_s=HOUR)
+    recorder.record(0.0, job, TraceEventType.JOB_START, nodes=4)
+    recorder.record(5.0, job, TraceEventType.INPUT_DONE)
+    assert len(recorder) == 2
+    assert recorder.job_ids() == [job.job_id]
+    assert [e.kind for e in recorder.for_job(job.job_id)] == [
+        TraceEventType.JOB_START,
+        TraceEventType.INPUT_DONE,
+    ]
+    assert recorder.of_kind(TraceEventType.INPUT_DONE)[0].time == 5.0
+    rows = recorder.to_rows()
+    assert rows[0]["event"] == "job-start"
+    assert rows[0]["nodes"] == 4
+
+
+def test_checkpoint_intervals_from_recorded_events(tiny_classes):
+    recorder = TraceRecorder()
+    job = Job(app_class=tiny_classes[0], total_work_s=10 * HOUR)
+    recorder.record(0.0, job, TraceEventType.JOB_START)
+    recorder.record(10.0, job, TraceEventType.INPUT_DONE)
+    recorder.record(3610.0, job, TraceEventType.CHECKPOINT_DONE)
+    recorder.record(7210.0, job, TraceEventType.CHECKPOINT_DONE)
+    intervals = recorder.checkpoint_intervals(job.job_id)
+    assert intervals == pytest.approx([3600.0, 3600.0])
+    assert recorder.achieved_checkpoint_intervals() == {job.job_id: pytest.approx([3600.0, 3600.0])}
+    # A job with no checkpoints contributes nothing.
+    other = Job(app_class=tiny_classes[1], total_work_s=HOUR)
+    assert recorder.checkpoint_intervals(other.job_id) == []
+
+
+def test_simulation_collects_trace_when_requested(tiny_config, tiny_classes):
+    config = tiny_config("ordered-fixed", horizon_s=1 * DAY, warmup_s=0.0, cooldown_s=0.0, collect_trace=True)
+    jobs = [Job(app_class=tiny_classes[0], total_work_s=3 * HOUR, priority=0.0)]
+    trace = FailureTrace([FailureEvent(1.5 * HOUR, 0)], horizon=config.horizon_s)
+    sim = Simulation(config, jobs=jobs, failure_trace=trace)
+    result = sim.run()
+
+    assert sim.trace is not None
+    kinds = {event.kind for event in sim.trace}
+    assert TraceEventType.JOB_START in kinds
+    assert TraceEventType.INPUT_DONE in kinds
+    assert TraceEventType.CHECKPOINT_DONE in kinds
+    assert TraceEventType.JOB_FAILED in kinds
+    assert TraceEventType.RESTART_SUBMITTED in kinds
+    assert TraceEventType.JOB_COMPLETE in kinds
+    # The restart appears as a separate job id in the trace.
+    assert len(sim.trace.job_ids()) >= 2
+    # Achieved checkpoint intervals are close to (and not shorter than) the
+    # requested fixed period minus the commit time.
+    intervals = sim.trace.achieved_checkpoint_intervals()
+    assert intervals
+    for values in intervals.values():
+        for interval in values:
+            assert interval >= 0.9 * config.fixed_period_s
+    assert result.checkpoints_completed == len(sim.trace.of_kind(TraceEventType.CHECKPOINT_DONE))
+
+
+def test_simulation_trace_disabled_by_default(tiny_config):
+    sim = Simulation(tiny_config())
+    assert sim.trace is None
+    sim.run()
+    assert sim.trace is None

@@ -1,0 +1,105 @@
+"""Monte-Carlo statistics (repro.stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.montecarlo import derive_seeds, monte_carlo
+from repro.stats.summary import DistributionSummary, summarize
+
+
+# ----------------------------------------------------------------- summaries
+def test_summarize_basic_statistics():
+    summary = summarize(range(1, 101))
+    assert summary.n == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 100.0
+    assert summary.median == pytest.approx(50.5)
+    assert summary.quartile1 < summary.median < summary.quartile3
+    assert summary.decile1 < summary.quartile1
+    assert summary.decile9 > summary.quartile3
+
+
+def test_summarize_constant_sample():
+    summary = summarize([3.0] * 10)
+    assert summary.mean == 3.0
+    assert summary.std == 0.0
+    assert summary.decile1 == summary.decile9 == 3.0
+
+
+def test_summarize_rejects_bad_input():
+    with pytest.raises(AnalysisError):
+        summarize([])
+    with pytest.raises(AnalysisError):
+        summarize([1.0, float("nan")])
+
+
+def test_summary_as_dict_and_format():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    data = summary.as_dict()
+    assert data["n"] == 4.0
+    assert data["mean"] == pytest.approx(2.5)
+    text = summary.format()
+    assert "2.500" in text
+    assert "[" in text and "]" in text
+
+
+def test_percentile_ordering_invariant():
+    rng = np.random.default_rng(0)
+    summary = summarize(rng.normal(size=500))
+    ordered = [
+        summary.minimum,
+        summary.decile1,
+        summary.quartile1,
+        summary.median,
+        summary.quartile3,
+        summary.decile9,
+        summary.maximum,
+    ]
+    assert ordered == sorted(ordered)
+
+
+# --------------------------------------------------------------- monte carlo
+def test_derive_seeds_is_stable_and_prefix_consistent():
+    short = derive_seeds(42, 3)
+    long = derive_seeds(42, 6)
+    assert long[:3] == short
+    assert len(set(long)) == 6
+    assert derive_seeds(42, 3) == short
+    assert derive_seeds(43, 3) != short
+
+
+def test_derive_seeds_requires_positive_runs():
+    with pytest.raises(AnalysisError):
+        derive_seeds(0, 0)
+
+
+def test_monte_carlo_collects_one_value_per_seed():
+    seen: list[int] = []
+
+    def experiment(seed: int) -> float:
+        seen.append(seed)
+        return float(seed % 7)
+
+    summary = monte_carlo(experiment, num_runs=5, base_seed=1)
+    assert summary.n == 5
+    assert len(seen) == 5
+    assert len(set(seen)) == 5
+
+
+def test_monte_carlo_is_reproducible():
+    experiment = lambda seed: float((seed * 2654435761) % 1000)  # noqa: E731
+    a = monte_carlo(experiment, num_runs=4, base_seed=9)
+    b = monte_carlo(experiment, num_runs=4, base_seed=9)
+    assert a == b
+
+
+def test_monte_carlo_custom_reduce():
+    def reduce_to_max(values):
+        return summarize([max(values)])
+
+    summary = monte_carlo(lambda seed: float(seed % 10), num_runs=8, base_seed=2, reduce=reduce_to_max)
+    assert summary.n == 1

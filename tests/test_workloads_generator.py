@@ -1,0 +1,118 @@
+"""Workload (job-mix) generation (repro.workloads.generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.app_class import ApplicationClass
+from repro.errors import ConfigurationError
+from repro.units import DAY, GB, HOUR
+from repro.workloads.generator import WorkloadSpec, generate_jobs
+
+
+def make_spec(tiny_classes, **overrides) -> WorkloadSpec:
+    parameters = dict(classes=tuple(tiny_classes), min_duration_s=2 * DAY, share_tolerance=0.02)
+    parameters.update(overrides)
+    return WorkloadSpec(**parameters)
+
+
+def test_spec_validation(tiny_classes):
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(classes=())
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_classes, min_duration_s=0.0)
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_classes, share_tolerance=0.0)
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_classes, work_time_jitter=1.0)
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_classes, headroom=0.5)
+
+
+def test_spec_requires_positive_shares(tiny_classes):
+    zero_share = [
+        ApplicationClass(
+            name="z",
+            nodes=2,
+            work_s=HOUR,
+            input_bytes=GB,
+            output_bytes=GB,
+            checkpoint_bytes=GB,
+            workload_share=0.0,
+        )
+    ]
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(classes=tuple(zero_share))
+
+
+def test_normalized_shares(tiny_classes):
+    spec = make_spec(tiny_classes)
+    shares = spec.normalized_shares
+    assert shares.sum() == pytest.approx(1.0)
+    assert shares[0] == pytest.approx(0.6)
+
+
+def test_generated_jobs_match_share_targets_and_duration(tiny_platform, tiny_classes):
+    spec = make_spec(tiny_classes, min_duration_s=3 * DAY, share_tolerance=0.02)
+    rng = np.random.default_rng(0)
+    jobs = generate_jobs(spec, tiny_platform, rng)
+    assert jobs
+
+    node_seconds = {app.name: 0.0 for app in tiny_classes}
+    for job in jobs:
+        node_seconds[job.app_class.name] += job.total_work_s * job.nodes
+    total = sum(node_seconds.values())
+    # Enough work to keep the platform busy for the requested duration.
+    assert total >= tiny_platform.num_nodes * spec.min_duration_s
+    # Shares within tolerance.
+    for app, target in zip(tiny_classes, spec.normalized_shares):
+        assert node_seconds[app.name] / total == pytest.approx(target, abs=spec.share_tolerance + 1e-9)
+
+
+def test_work_times_are_jittered_within_bounds(tiny_platform, tiny_classes):
+    spec = make_spec(tiny_classes, work_time_jitter=0.2)
+    jobs = generate_jobs(spec, tiny_platform, np.random.default_rng(1))
+    for job in jobs:
+        nominal = job.app_class.work_s
+        assert 0.8 * nominal - 1e-6 <= job.total_work_s <= 1.2 * nominal + 1e-6
+    # With jitter disabled, work times are exactly the nominal ones.
+    exact = generate_jobs(make_spec(tiny_classes, work_time_jitter=0.0), tiny_platform, np.random.default_rng(1))
+    assert all(job.total_work_s == job.app_class.work_s for job in exact)
+
+
+def test_priorities_follow_shuffled_arrival_order(tiny_platform, tiny_classes):
+    jobs = generate_jobs(make_spec(tiny_classes), tiny_platform, np.random.default_rng(2))
+    priorities = sorted(job.priority for job in jobs)
+    assert priorities == list(range(len(jobs)))
+    assert all(job.submit_time == 0.0 for job in jobs)
+
+
+def test_generation_is_reproducible(tiny_platform, tiny_classes):
+    spec = make_spec(tiny_classes)
+    a = generate_jobs(spec, tiny_platform, np.random.default_rng(7))
+    b = generate_jobs(spec, tiny_platform, np.random.default_rng(7))
+    assert [(j.app_class.name, j.total_work_s, j.priority) for j in a] == [
+        (j.app_class.name, j.total_work_s, j.priority) for j in b
+    ]
+
+
+def test_oversized_class_rejected(tiny_platform, tiny_classes):
+    huge = ApplicationClass(
+        name="huge",
+        nodes=tiny_platform.num_nodes + 1,
+        work_s=HOUR,
+        input_bytes=GB,
+        output_bytes=GB,
+        checkpoint_bytes=GB,
+        workload_share=1.0,
+    )
+    spec = WorkloadSpec(classes=(huge,), min_duration_s=DAY)
+    with pytest.raises(ConfigurationError):
+        generate_jobs(spec, tiny_platform, np.random.default_rng(0))
+
+
+def test_max_jobs_guard(tiny_platform, tiny_classes):
+    spec = make_spec(tiny_classes, max_jobs=2, min_duration_s=30 * DAY)
+    with pytest.raises(ConfigurationError):
+        generate_jobs(spec, tiny_platform, np.random.default_rng(0))
