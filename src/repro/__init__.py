@@ -13,7 +13,8 @@ The package provides three layers:
   an online first-fit job scheduler (:mod:`repro.jobsched`).
 * the evaluation harness — workload definitions (:mod:`repro.workloads`),
   the top-level simulator (:mod:`repro.simulation`), Monte-Carlo statistics
-  (:mod:`repro.stats`) and per-figure experiments
+  (:mod:`repro.stats`), parallel execution and result caching
+  (:mod:`repro.exec`) and per-figure experiments
   (:mod:`repro.experiments`).
 
 Quickstart
@@ -60,7 +61,10 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.results import SimulationResult, WasteBreakdown
 from repro.simulation.simulator import Simulation, run_simulation
 from repro.stats.summary import DistributionSummary, summarize
-from repro.stats.montecarlo import monte_carlo
+from repro.stats.montecarlo import derive_seeds, monte_carlo
+from repro.exec.cache import ResultCache
+from repro.exec.digest import config_digest
+from repro.exec.runner import ParallelRunner
 
 __version__ = "1.0.0"
 
@@ -110,4 +114,9 @@ __all__ = [
     "DistributionSummary",
     "summarize",
     "monte_carlo",
+    "derive_seeds",
+    # parallel execution
+    "ParallelRunner",
+    "ResultCache",
+    "config_digest",
 ]

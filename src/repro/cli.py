@@ -7,14 +7,18 @@ from the shell::
     coopckpt lower-bound --bandwidth-gbs 40
     coopckpt simulate --strategy least-waste --bandwidth-gbs 80 --horizon-days 4
     coopckpt figure1 --num-runs 3 --horizon-days 6 [--chart] [--csv fig1.csv]
-    coopckpt figure2 --num-runs 3
+    coopckpt figure2 --num-runs 3 --workers 4 --cache-dir ~/.cache/coopckpt
     coopckpt figure3 --num-runs 2
     coopckpt ablation --study interference
     coopckpt trace --strategy least-waste --horizon-days 2
 
 Every experiment prints a plain-text table mirroring the corresponding table
 or figure of the paper; the figure commands can additionally export CSV/JSON
-and render an ASCII chart of the series.
+and render an ASCII chart of the series.  The experiment subcommands accept
+``--workers N`` to fan the Monte-Carlo repetitions out over worker processes
+and ``--cache-dir PATH`` to reuse previously simulated (config, strategy,
+seed) results from disk; both leave the numbers bit-identical to a serial,
+uncached run.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.exec.runner import ParallelRunner
 from repro.experiments.figure1 import Figure1Config, render_figure1, run_figure1
 from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
 from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
@@ -35,6 +40,30 @@ from repro.workloads.apex import apex_workload
 from repro.workloads.cielo import cielo_platform
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
+    """Execution-backend options shared by the experiment subcommands."""
+    sub.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the Monte-Carlo repetitions (1 = serial)",
+    )
+    sub.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="on-disk result cache; re-runs only simulate unseen seeds",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace) -> ParallelRunner:
+    """Build the experiment runner selected by ``--workers``/``--cache-dir``."""
+    workers = getattr(args, "workers", 1)
+    if workers <= 0:
+        raise SystemExit("--workers must be positive")
+    return ParallelRunner(
+        backend="process" if workers > 1 else "serial",
+        workers=workers,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig1.add_argument("--chart", action="store_true", help="append an ASCII chart of the series")
     fig1.add_argument("--csv", metavar="PATH", help="also write the series as CSV")
     fig1.add_argument("--json", metavar="PATH", help="also write the series as JSON")
+    _add_runner_arguments(fig1)
 
     fig2 = sub.add_parser("figure2", help="waste ratio vs. node MTBF (Cielo, 40 GB/s)")
     fig2.add_argument("--num-runs", type=int, default=3)
@@ -83,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.add_argument("--chart", action="store_true", help="append an ASCII chart of the series")
     fig2.add_argument("--csv", metavar="PATH", help="also write the series as CSV")
     fig2.add_argument("--json", metavar="PATH", help="also write the series as JSON")
+    _add_runner_arguments(fig2)
 
     fig3 = sub.add_parser(
         "figure3", help="minimum bandwidth for 80%% efficiency (prospective system)"
@@ -91,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--horizon-days", type=float, default=4.0)
     fig3.add_argument("--mtbf-years", type=float, nargs="+", default=[5.0, 15.0, 25.0])
     fig3.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    _add_runner_arguments(fig3)
 
     ablation = sub.add_parser("ablation", help="fixed-period and interference-model ablations")
     ablation.add_argument(
@@ -112,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=STRATEGIES, default=None,
         help="strategy to ablate (defaults per study)",
     )
+    _add_runner_arguments(ablation)
 
     trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
     trace.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
@@ -191,7 +224,7 @@ def _cmd_figure1(args: argparse.Namespace) -> str:
         horizon_days=args.horizon_days,
         num_runs=args.num_runs,
     )
-    result = run_figure1(config)
+    result = run_figure1(config, runner=_runner_from_args(args))
     return _sweep_output(result, render_figure1(result), args, "Figure 1")
 
 
@@ -202,7 +235,7 @@ def _cmd_figure2(args: argparse.Namespace) -> str:
         horizon_days=args.horizon_days,
         num_runs=args.num_runs,
     )
-    result = run_figure2(config)
+    result = run_figure2(config, runner=_runner_from_args(args))
     return _sweep_output(result, render_figure2(result), args, "Figure 2")
 
 
@@ -212,7 +245,7 @@ def _cmd_figure3(args: argparse.Namespace) -> str:
         horizon_days=args.horizon_days,
         num_runs=args.num_runs,
     )
-    result = run_figure3(config)
+    result = run_figure3(config, runner=_runner_from_args(args))
     rendered = render_figure3(result)
     if args.csv:
         from repro.experiments.export import figure3_to_csv, write_text
@@ -233,6 +266,7 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
         bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
     )
     workload = apex_workload(platform)
+    runner = _runner_from_args(args)
     if args.study == "fixed-period":
         cells = fixed_period_ablation(
             platform,
@@ -241,6 +275,7 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
             periods_hours=tuple(args.periods_hours),
             horizon_days=args.horizon_days,
             num_runs=args.num_runs,
+            runner=runner,
         )
         title = (
             f"Fixed-period ablation on {platform.name} "
@@ -254,6 +289,7 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
             alphas=tuple(args.alphas),
             horizon_days=args.horizon_days,
             num_runs=args.num_runs,
+            runner=runner,
         )
         title = (
             f"Interference-model ablation on {platform.name} "

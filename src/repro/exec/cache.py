@@ -1,0 +1,107 @@
+"""On-disk cache of per-seed simulation results.
+
+A :class:`ResultCache` stores one scalar metric per completed simulation,
+keyed by ``(config digest, strategy, seed)``.  Re-running a sweep with a
+larger ``num_runs`` therefore only simulates the seeds that were not seen
+before, and re-rendering a figure from an unchanged configuration touches no
+simulation at all.
+
+Layout: one small JSON file per entry, ::
+
+    <root>/<digest[:2]>/<digest>/<strategy>/<seed>.json
+
+Sharding by digest prefix keeps directories small on large parameter
+sweeps; one-file-per-entry keeps concurrent writers (parallel workers,
+several processes sharing a cache directory) safe without locking — entries
+are written atomically via a temporary file and :func:`os.replace`, and the
+value for a given key is deterministic, so racing writers simply store the
+same bytes.
+
+Values round-trip exactly: Python's JSON encoder serialises floats with
+``repr``, which is shortest-exact, so a cache hit is bit-identical to the
+simulation it replaced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Persistent ``(config digest, strategy, seed) -> float`` mapping.
+
+    Attributes
+    ----------
+    root:
+        Cache directory (created on first use).
+    hits / misses / writes:
+        Cumulative counters, useful to assert cache behaviour in tests and
+        to report effectiveness from benchmarks.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(f"cache path {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------ layout
+    def _entry_path(self, digest: str, strategy: str, seed: int) -> Path:
+        return self.root / digest[:2] / digest / strategy / f"{seed}.json"
+
+    # ------------------------------------------------------------ access
+    def get(self, digest: str, strategy: str, seed: int) -> float | None:
+        """Cached value for one key, or ``None`` on a miss."""
+        path = self._entry_path(digest, strategy, seed)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            value = float(entry["value"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Unreadable or malformed entries (stray files, foreign formats)
+            # count as misses: the seed is simply re-simulated.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, strategy: str, seed: int, value: float) -> None:
+        """Store one value atomically (safe under concurrent writers)."""
+        path = self._entry_path(digest, strategy, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"digest": digest, "strategy": strategy, "seed": int(seed), "value": float(value)}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------ reporting
+    def __len__(self) -> int:
+        """Number of entries currently on disk (walks the cache tree)."""
+        return sum(1 for _ in self.root.glob("*/*/*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )

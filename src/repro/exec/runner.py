@@ -1,0 +1,268 @@
+"""Parallel Monte-Carlo execution.
+
+:class:`ParallelRunner` dispatches the independent repetitions of a
+Monte-Carlo experiment either serially in-process (the default, and
+bit-identical to the historical code path) or across a pool of worker
+processes.  Because :func:`repro.stats.montecarlo.derive_seeds` makes the
+i-th seed depend only on the base seed and ``i``, repetitions are
+embarrassingly parallel: the runner merely changes *where* each seed is
+simulated, never *what* is simulated, so both backends return bit-identical
+per-seed values.
+
+The runner optionally consults a :class:`repro.exec.cache.ResultCache`
+before simulating: seeds whose ``(config digest, strategy, seed)`` key is
+already on disk are served from the cache and only the remaining seeds are
+dispatched.  Growing ``num_runs`` on an existing sweep therefore only pays
+for the new seeds.
+
+Tasks submitted to the ``"process"`` backend must be picklable — module-level
+functions or instances of module-level classes such as
+:class:`WasteRatioTask`; lambdas and closures only work on the serial
+backend.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.digest import config_digest
+from repro.simulation.config import SimulationConfig
+from repro.simulation.simulator import Simulation
+
+__all__ = ["BACKENDS", "ParallelRunner", "ProgressEvent", "RunnerStats", "WasteRatioTask"]
+
+#: Supported execution backends.
+BACKENDS: tuple[str, ...] = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification for a batch of Monte-Carlo repetitions.
+
+    ``completed`` counts both simulated and cache-served seeds; ``cached``
+    counts only the latter, so ``completed - cached`` seeds were actually
+    simulated so far.
+    """
+
+    label: str
+    completed: int
+    total: int
+    cached: int = 0
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative execution counters of one :class:`ParallelRunner`."""
+
+    tasks_run: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+
+    def snapshot(self) -> "RunnerStats":
+        """Independent copy (convenient for before/after comparisons)."""
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class WasteRatioTask:
+    """Picklable per-seed task: simulate one config variant, return its waste.
+
+    The stored configuration acts as a template; the per-repetition seed is
+    substituted at call time.  Instances are sent to worker processes, so
+    the template must remain picklable (which every
+    :class:`~repro.simulation.config.SimulationConfig` of frozen dataclasses
+    is).
+    """
+
+    config: SimulationConfig
+
+    def __call__(self, seed: int) -> float:
+        return Simulation(self.config.with_seed(seed)).run().waste_ratio
+
+
+def _run_chunk(task: Callable[[int], float], seeds: Sequence[int]) -> list[float]:
+    """Worker-side helper: evaluate ``task`` on a chunk of seeds, in order."""
+    return [float(task(seed)) for seed in seeds]
+
+
+@dataclass
+class ParallelRunner:
+    """Executes per-seed experiment tasks serially or on a process pool.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (default; runs in-process, supports arbitrary
+        callables) or ``"process"`` (ProcessPoolExecutor; tasks must be
+        picklable).
+    workers:
+        Worker-process count for the ``"process"`` backend; defaults to the
+        machine's CPU count.  Ignored by the serial backend.
+    chunk_size:
+        Seeds dispatched per pool submission; defaults to roughly four
+        chunks per worker, which balances load against IPC overhead.
+    cache / cache_dir:
+        Optional :class:`ResultCache` (or a directory path from which one is
+        built) consulted for batches that provide a cache key.
+    progress:
+        Optional callback invoked with a :class:`ProgressEvent` after each
+        completed seed (serial) or chunk (process), and once up-front when a
+        batch starts with cache hits.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    chunk_size: int | None = None
+    cache: ResultCache | None = None
+    cache_dir: str | os.PathLike[str] | None = None
+    progress: Callable[[ProgressEvent], None] | None = None
+    stats: RunnerStats = field(default_factory=RunnerStats)
+    #: Lazily created process pool, reused across batches so a sweep pays
+    #: worker startup once, not once per cell.
+    _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        if self.cache is None and self.cache_dir is not None:
+            self.cache = ResultCache(self.cache_dir)
+
+    # ------------------------------------------------------------ execution
+    def map_seeds(
+        self,
+        task: Callable[[int], float],
+        seeds: Sequence[int],
+        *,
+        label: str = "",
+        cache_key: tuple[str, str] | None = None,
+    ) -> list[float]:
+        """Evaluate ``task(seed)`` for every seed, preserving seed order.
+
+        ``cache_key`` is the ``(config digest, strategy)`` pair under which
+        per-seed values are cached; when omitted (or when the runner has no
+        cache) every seed is simulated.
+        """
+        seeds = list(seeds)
+        total = len(seeds)
+        results: dict[int, float] = {}
+        if self.cache is not None and cache_key is not None:
+            digest, strategy = cache_key
+            for index, seed in enumerate(seeds):
+                value = self.cache.get(digest, strategy, int(seed))
+                if value is not None:
+                    results[index] = value
+        cached = len(results)
+        self.stats.cache_hits += cached
+        self.stats.batches += 1
+        pending = [(index, seed) for index, seed in enumerate(seeds) if index not in results]
+        if cached and self.progress is not None:
+            self.progress(ProgressEvent(label=label, completed=cached, total=total, cached=cached))
+        if pending:
+            if self.backend == "process":
+                computed = self._run_process(task, pending, label=label, total=total, cached=cached)
+            else:
+                computed = self._run_serial(task, pending, label=label, total=total, cached=cached)
+            if self.cache is not None and cache_key is not None:
+                digest, strategy = cache_key
+                for index, value in computed.items():
+                    self.cache.put(digest, strategy, int(seeds[index]), value)
+            results.update(computed)
+        return [results[index] for index in range(total)]
+
+    def run_config(
+        self,
+        config: SimulationConfig,
+        seeds: Sequence[int],
+        *,
+        label: str | None = None,
+    ) -> list[float]:
+        """Simulate ``config`` once per seed and return the waste ratios.
+
+        This is the cache-aware entry point used by the experiment harness:
+        the cache key is derived from the configuration's content digest and
+        strategy, so identical cells across sweeps share cached values.
+        """
+        return self.map_seeds(
+            WasteRatioTask(config),
+            seeds,
+            label=label if label is not None else config.strategy,
+            cache_key=(config_digest(config), config.strategy),
+        )
+
+    # ------------------------------------------------------------ backends
+    def _emit(self, label: str, completed: int, total: int, cached: int) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(label=label, completed=completed, total=total, cached=cached))
+
+    def _run_serial(
+        self,
+        task: Callable[[int], float],
+        pending: list[tuple[int, int]],
+        *,
+        label: str,
+        total: int,
+        cached: int,
+    ) -> dict[int, float]:
+        computed: dict[int, float] = {}
+        for index, seed in pending:
+            computed[index] = float(task(seed))
+            self.stats.tasks_run += 1
+            self._emit(label, cached + len(computed), total, cached)
+        return computed
+
+    def _run_process(
+        self,
+        task: Callable[[int], float],
+        pending: list[tuple[int, int]],
+        *,
+        label: str,
+        total: int,
+        cached: int,
+    ) -> dict[int, float]:
+        workers = self.workers or os.cpu_count() or 1
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(len(pending) / (min(workers, len(pending)) * 4))
+        )
+        chunks = [pending[start : start + chunk_size] for start in range(0, len(pending), chunk_size)]
+        computed: dict[int, float] = {}
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {
+            self._pool.submit(_run_chunk, task, [seed for _, seed in chunk]): chunk
+            for chunk in chunks
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = futures[future]
+                for (index, _), value in zip(chunk, future.result()):
+                    computed[index] = value
+                self.stats.tasks_run += len(chunk)
+                self._emit(label, cached + len(computed), total, cached)
+        return computed
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later batch restarts it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 
 from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
+from repro.exec.runner import ParallelRunner
 from repro.platform.interference import (
     DegradingInterference,
     InterferenceModel,
@@ -25,7 +26,6 @@ from repro.platform.interference import (
 )
 from repro.platform.spec import PlatformSpec
 from repro.simulation.config import SimulationConfig
-from repro.simulation.simulator import Simulation
 from repro.stats.montecarlo import derive_seeds
 from repro.stats.summary import DistributionSummary, summarize
 from repro.units import DAY, HOUR
@@ -56,21 +56,22 @@ def _run_cells(
     base_seed: int,
     fixed_period_s: float = HOUR,
     interference: InterferenceModel | None = None,
+    runner: ParallelRunner | None = None,
 ) -> DistributionSummary:
-    values = []
-    for seed in derive_seeds(base_seed, num_runs):
-        config = SimulationConfig(
-            platform=platform,
-            classes=tuple(workload),
-            strategy=strategy,
-            horizon_s=horizon_days * DAY,
-            warmup_s=min(1.0, horizon_days / 4.0) * DAY,
-            cooldown_s=min(1.0, horizon_days / 4.0) * DAY,
-            seed=seed,
-            fixed_period_s=fixed_period_s,
-            interference=interference,
-        )
-        values.append(Simulation(config).run().waste_ratio)
+    if runner is None:
+        runner = ParallelRunner()
+    config = SimulationConfig(
+        platform=platform,
+        classes=tuple(workload),
+        strategy=strategy,
+        horizon_s=horizon_days * DAY,
+        warmup_s=min(1.0, horizon_days / 4.0) * DAY,
+        cooldown_s=min(1.0, horizon_days / 4.0) * DAY,
+        seed=0,
+        fixed_period_s=fixed_period_s,
+        interference=interference,
+    )
+    values = runner.run_config(config, derive_seeds(base_seed, num_runs))
     return summarize(values)
 
 
@@ -83,6 +84,7 @@ def fixed_period_ablation(
     horizon_days: float = 4.0,
     num_runs: int = 2,
     base_seed: int = 0,
+    runner: ParallelRunner | None = None,
 ) -> list[AblationCell]:
     """Waste of a Fixed-period strategy as the fixed period varies.
 
@@ -104,6 +106,7 @@ def fixed_period_ablation(
             num_runs=num_runs,
             base_seed=base_seed,
             fixed_period_s=hours * HOUR,
+            runner=runner,
         )
         cells.append(AblationCell(label=f"{strategy}, P = {hours:g} h", waste=summary))
     return cells
@@ -118,6 +121,7 @@ def interference_model_ablation(
     horizon_days: float = 4.0,
     num_runs: int = 2,
     base_seed: int = 0,
+    runner: ParallelRunner | None = None,
 ) -> list[AblationCell]:
     """Waste of one strategy under increasingly adversarial interference.
 
@@ -145,6 +149,7 @@ def interference_model_ablation(
             num_runs=num_runs,
             base_seed=base_seed,
             interference=model,
+            runner=runner,
         )
         cells.append(AblationCell(label=label, waste=summary))
     return cells

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+from repro.exec.runner import ParallelRunner
 from repro.experiments.report import render_sweep
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.iosched.registry import STRATEGIES
@@ -51,8 +52,14 @@ class Figure1Config:
     field_label: str = field(default="System Aggregated Bandwidth (GB/s)", repr=False)
 
 
-def run_figure1(config: Figure1Config | None = None) -> SweepResult:
-    """Run the Figure 1 sweep and return the per-strategy waste summaries."""
+def run_figure1(
+    config: Figure1Config | None = None, runner: ParallelRunner | None = None
+) -> SweepResult:
+    """Run the Figure 1 sweep and return the per-strategy waste summaries.
+
+    ``runner`` optionally parallelises and/or caches the Monte-Carlo
+    repetitions (see :mod:`repro.exec`); results are backend-independent.
+    """
     config = config or Figure1Config()
     return run_sweep(
         parameter_name=config.field_label,
@@ -67,6 +74,7 @@ def run_figure1(config: Figure1Config | None = None) -> SweepResult:
         cooldown_days=config.cooldown_days,
         num_runs=config.num_runs,
         base_seed=config.base_seed,
+        runner=runner,
     )
 
 

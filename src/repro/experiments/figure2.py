@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exec.runner import ParallelRunner
 from repro.experiments.report import render_sweep
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.iosched.registry import STRATEGIES
@@ -43,8 +44,14 @@ class Figure2Config:
     field_label: str = field(default="Node MTBF (years)", repr=False)
 
 
-def run_figure2(config: Figure2Config | None = None) -> SweepResult:
-    """Run the Figure 2 sweep and return the per-strategy waste summaries."""
+def run_figure2(
+    config: Figure2Config | None = None, runner: ParallelRunner | None = None
+) -> SweepResult:
+    """Run the Figure 2 sweep and return the per-strategy waste summaries.
+
+    ``runner`` optionally parallelises and/or caches the Monte-Carlo
+    repetitions (see :mod:`repro.exec`); results are backend-independent.
+    """
     config = config or Figure2Config()
     return run_sweep(
         parameter_name=config.field_label,
@@ -59,6 +66,7 @@ def run_figure2(config: Figure2Config | None = None) -> SweepResult:
         cooldown_days=config.cooldown_days,
         num_runs=config.num_runs,
         base_seed=config.base_seed,
+        runner=runner,
     )
 
 

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.exec.runner import ParallelRunner
 from repro.experiments.runner import ExperimentCell, run_cell
 from repro.experiments.theory import theoretical_waste
 from repro.iosched.registry import STRATEGIES
@@ -94,7 +95,13 @@ class Figure3Result:
         return self.min_bandwidth_tbs[strategy]
 
 
-def _simulated_waste(strategy: str, bandwidth_tbs: float, mtbf_years: float, config: Figure3Config) -> float:
+def _simulated_waste(
+    strategy: str,
+    bandwidth_tbs: float,
+    mtbf_years: float,
+    config: Figure3Config,
+    runner: ParallelRunner | None = None,
+) -> float:
     platform = prospective_platform(bandwidth_tbs=bandwidth_tbs, node_mtbf_years=mtbf_years)
     workload = tuple(prospective_workload(platform))
     cell = ExperimentCell(
@@ -107,7 +114,7 @@ def _simulated_waste(strategy: str, bandwidth_tbs: float, mtbf_years: float, con
         num_runs=config.num_runs,
         base_seed=config.base_seed,
     )
-    return run_cell(cell).mean
+    return run_cell(cell, runner=runner).mean
 
 
 def _theory_waste(bandwidth_tbs: float, mtbf_years: float) -> float:
@@ -145,8 +152,17 @@ def _min_bandwidth(
     return math.exp(log_hi)
 
 
-def run_figure3(config: Figure3Config | None = None) -> Figure3Result:
-    """Run the Figure 3 study and return the minimum-bandwidth table."""
+def run_figure3(
+    config: Figure3Config | None = None, runner: ParallelRunner | None = None
+) -> Figure3Result:
+    """Run the Figure 3 study and return the minimum-bandwidth table.
+
+    ``runner`` optionally parallelises and/or caches the Monte-Carlo probes
+    of the bandwidth bisection (see :mod:`repro.exec`).  Within one run
+    every probe hits a distinct (bandwidth, strategy, MTBF) cell, so the
+    cache pays off on *re-runs* — e.g. extending ``node_mtbf_years`` or
+    ``strategies`` replays the unchanged cells from disk.
+    """
     config = config or Figure3Config()
     target = config.target_waste_ratio
     result = Figure3Result(
@@ -169,7 +185,7 @@ def run_figure3(config: Figure3Config | None = None) -> Figure3Result:
         for strategy in config.strategies:
             result.min_bandwidth_tbs[strategy].append(
                 _min_bandwidth(
-                    lambda bw: _simulated_waste(strategy, bw, mtbf, config),
+                    lambda bw: _simulated_waste(strategy, bw, mtbf, config, runner),
                     target,
                     config.search_lo_tbs,
                     config.search_hi_tbs,

@@ -4,6 +4,11 @@ A *cell* is one (platform variant, strategy) pair evaluated over a number of
 Monte-Carlo repetitions; a *sweep* evaluates every strategy for every value
 of a platform parameter (bandwidth in Figure 1, node MTBF in Figure 2) and
 records the theoretical lower bound alongside.
+
+Both entry points accept an optional :class:`repro.exec.ParallelRunner`,
+which dispatches the per-seed repetitions to worker processes and/or serves
+them from an on-disk result cache; omitting it preserves the historical
+serial, uncached behaviour (and both paths are bit-identical).
 """
 
 from __future__ import annotations
@@ -13,11 +18,11 @@ from collections.abc import Callable, Sequence
 
 from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
+from repro.exec.runner import ParallelRunner
 from repro.experiments.theory import theoretical_waste
 from repro.iosched.registry import STRATEGIES
 from repro.platform.spec import PlatformSpec
 from repro.simulation.config import SimulationConfig
-from repro.simulation.simulator import Simulation
 from repro.stats.montecarlo import derive_seeds
 from repro.stats.summary import DistributionSummary, summarize
 from repro.units import DAY, HOUR
@@ -78,12 +83,16 @@ class ExperimentCell:
         )
 
 
-def run_cell(cell: ExperimentCell) -> DistributionSummary:
-    """Run one cell and summarise the per-run waste ratios."""
-    values: list[float] = []
-    for seed in derive_seeds(cell.base_seed, cell.num_runs):
-        result = Simulation(cell.config(seed)).run()
-        values.append(result.waste_ratio)
+def run_cell(cell: ExperimentCell, runner: ParallelRunner | None = None) -> DistributionSummary:
+    """Run one cell and summarise the per-run waste ratios.
+
+    ``runner`` selects the execution backend and result cache; the default
+    is a fresh serial, uncached runner (the historical behaviour).
+    """
+    if runner is None:
+        runner = ParallelRunner()
+    seeds = derive_seeds(cell.base_seed, cell.num_runs)
+    values = runner.run_config(cell.config(0), seeds, label=cell.strategy)
     return summarize(values)
 
 
@@ -134,6 +143,7 @@ def run_sweep(
     num_runs: int = 3,
     base_seed: int | None = 0,
     fixed_period_s: float = HOUR,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Evaluate every strategy at every value of a platform parameter.
 
@@ -145,6 +155,9 @@ def run_sweep(
         Maps the resulting platform to the application classes (the APEX
         volumes depend on the platform's memory, so the workload is rebuilt
         per platform variant).
+    runner:
+        Optional :class:`repro.exec.ParallelRunner` shared by every cell of
+        the sweep (process pool and result cache included).
     """
     if not parameter_values:
         raise ConfigurationError("parameter_values must not be empty")
@@ -173,5 +186,5 @@ def run_sweep(
                 base_seed=base_seed,
                 fixed_period_s=fixed_period_s,
             )
-            result.waste[strategy].append(run_cell(cell))
+            result.waste[strategy].append(run_cell(cell, runner=runner))
     return result

@@ -67,9 +67,13 @@ def summarize(values: Iterable[float]) -> DistributionSummary:
     if not np.all(np.isfinite(data)):
         raise AnalysisError("sample contains non-finite values")
     d1, q1, med, q3, d9 = np.percentile(data, [10.0, 25.0, 50.0, 75.0, 90.0])
+    # The exact mean lies in [min, max], but pairwise-summation rounding can
+    # push np.mean a few ULPs outside (e.g. three identical denormals), so
+    # clamp it back into the sample's range.
+    mean = float(min(max(data.mean(), data.min()), data.max()))
     return DistributionSummary(
         n=int(data.size),
-        mean=float(data.mean()),
+        mean=mean,
         std=float(data.std(ddof=0)),
         minimum=float(data.min()),
         decile1=float(d1),

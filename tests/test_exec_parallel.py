@@ -1,0 +1,220 @@
+"""Parallel execution subsystem (repro.exec).
+
+The key property: dispatching Monte-Carlo repetitions to worker processes
+or serving them from the on-disk cache never changes a single bit of any
+result.  The equivalence tests below therefore compare full
+:class:`DistributionSummary` dataclasses (exact float equality, not
+``approx``) between the serial path and every other execution mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BACKENDS,
+    ParallelRunner,
+    ProgressEvent,
+    ResultCache,
+    WasteRatioTask,
+    config_digest,
+)
+from repro.experiments.runner import ExperimentCell, run_cell
+from repro.stats.montecarlo import derive_seeds, monte_carlo
+
+
+def _experiment(seed: int) -> float:
+    """Module-level (hence picklable) toy experiment: a seed-keyed hash."""
+    return float((seed * 2654435761) % 100_003) / 100_003.0
+
+
+def _tiny_cell(tiny_platform, tiny_classes, **overrides) -> ExperimentCell:
+    parameters = dict(
+        platform=tiny_platform,
+        workload=tiny_classes,
+        strategy="least-waste",
+        horizon_days=0.5,
+        warmup_days=0.05,
+        cooldown_days=0.05,
+        num_runs=3,
+        base_seed=0,
+    )
+    parameters.update(overrides)
+    return ExperimentCell(**parameters)
+
+
+# ------------------------------------------------------------- construction
+def test_runner_validates_parameters(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(backend="threads")
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(chunk_size=0)
+    assert set(BACKENDS) == {"serial", "process"}
+    runner = ParallelRunner(cache_dir=tmp_path / "cache")
+    assert isinstance(runner.cache, ResultCache)
+
+
+# -------------------------------------------- serial / process equivalence
+@pytest.mark.parametrize("num_runs", [1, 5, 12])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_monte_carlo_process_backend_is_bit_identical(num_runs, workers):
+    serial = monte_carlo(_experiment, num_runs=num_runs, base_seed=7)
+    parallel = monte_carlo(
+        _experiment, num_runs=num_runs, base_seed=7, backend="process", workers=workers
+    )
+    assert serial == parallel  # exact dataclass equality, field by field
+
+
+def test_monte_carlo_runner_argument_overrides_backend():
+    runner = ParallelRunner(backend="serial")
+    summary = monte_carlo(_experiment, num_runs=4, base_seed=1, runner=runner)
+    assert summary == monte_carlo(_experiment, num_runs=4, base_seed=1)
+    assert runner.stats.tasks_run == 4
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 5])
+def test_map_seeds_chunking_preserves_seed_order(chunk_size):
+    seeds = derive_seeds(3, 7)
+    expected = [_experiment(seed) for seed in seeds]
+    runner = ParallelRunner(backend="process", workers=2, chunk_size=chunk_size)
+    assert runner.map_seeds(_experiment, seeds) == expected
+
+
+def test_run_cell_process_backend_matches_serial(tiny_platform, tiny_classes):
+    cell = _tiny_cell(tiny_platform, tiny_classes, num_runs=4)
+    serial = run_cell(cell)
+    parallel = run_cell(cell, runner=ParallelRunner(backend="process", workers=2))
+    assert serial == parallel
+
+
+# ------------------------------------------------------------------ caching
+def test_cache_second_run_simulates_nothing(tiny_platform, tiny_classes, tmp_path):
+    cell = _tiny_cell(tiny_platform, tiny_classes, num_runs=3)
+    first = ParallelRunner(cache_dir=tmp_path)
+    a = run_cell(cell, runner=first)
+    assert first.stats.tasks_run == cell.num_runs
+    assert first.stats.cache_hits == 0
+
+    second = ParallelRunner(cache_dir=tmp_path)
+    b = run_cell(cell, runner=second)
+    assert a == b
+    assert second.stats.tasks_run == 0  # zero simulations on the second run
+    assert second.stats.cache_hits == cell.num_runs
+
+
+def test_cache_growing_num_runs_only_simulates_new_seeds(tiny_platform, tiny_classes, tmp_path):
+    small = _tiny_cell(tiny_platform, tiny_classes, num_runs=2)
+    run_cell(small, runner=ParallelRunner(cache_dir=tmp_path))
+
+    grown = _tiny_cell(tiny_platform, tiny_classes, num_runs=5)
+    runner = ParallelRunner(cache_dir=tmp_path)
+    summary = run_cell(grown, runner=runner)
+    assert runner.stats.cache_hits == 2  # prefix stability pays off
+    assert runner.stats.tasks_run == 3
+    assert summary == run_cell(grown)  # identical to a fresh serial run
+
+
+def test_cache_process_backend(tiny_platform, tiny_classes, tmp_path):
+    cell = _tiny_cell(tiny_platform, tiny_classes, num_runs=4)
+    warm = ParallelRunner(backend="process", workers=2, cache_dir=tmp_path)
+    a = run_cell(cell, runner=warm)
+    cached = ParallelRunner(backend="process", workers=2, cache_dir=tmp_path)
+    b = run_cell(cell, runner=cached)
+    assert a == b
+    assert cached.stats.tasks_run == 0
+
+
+def test_cache_distinguishes_strategies_and_configs(tiny_platform, tiny_classes, tmp_path):
+    runner = ParallelRunner(cache_dir=tmp_path)
+    base = _tiny_cell(tiny_platform, tiny_classes, num_runs=2)
+    other_strategy = _tiny_cell(tiny_platform, tiny_classes, num_runs=2, strategy="oblivious-fixed")
+    other_horizon = _tiny_cell(tiny_platform, tiny_classes, num_runs=2, horizon_days=0.6)
+    run_cell(base, runner=runner)
+    run_cell(other_strategy, runner=runner)
+    run_cell(other_horizon, runner=runner)
+    # No cross-key collisions: each cell simulated its own repetitions.
+    assert runner.stats.tasks_run == 6
+    assert runner.stats.cache_hits == 0
+    digests = {config_digest(c.config(0)) for c in (base, other_strategy, other_horizon)}
+    assert len(digests) == 3
+
+
+def test_config_digest_excludes_seed_and_trace(tiny_config):
+    config = tiny_config()
+    assert config_digest(config) == config_digest(config.with_seed(999))
+    import dataclasses
+
+    traced = dataclasses.replace(config, collect_trace=True)
+    assert config_digest(config) == config_digest(traced)
+    assert config_digest(config) != config_digest(config.with_strategy("ordered-daly"))
+
+
+def test_result_cache_treats_malformed_entries_as_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache._entry_path("e" * 64, "least-waste", 1)
+    path.parent.mkdir(parents=True)
+    for malformed in ("null", "{}", '{"value": "not a float"}', "{broken"):
+        path.write_text(malformed)
+        assert cache.get("e" * 64, "least-waste", 1) is None
+    assert cache.misses == 4 and cache.hits == 0
+
+
+def test_process_pool_is_reused_across_batches():
+    with ParallelRunner(backend="process", workers=2) as runner:
+        runner.map_seeds(_experiment, derive_seeds(0, 4))
+        first_pool = runner._pool
+        runner.map_seeds(_experiment, derive_seeds(1, 4))
+        assert first_pool is not None and runner._pool is first_pool
+    assert runner._pool is None  # context exit shuts the pool down
+    runner.close()  # idempotent
+
+
+def test_result_cache_round_trip_is_exact(tmp_path):
+    cache = ResultCache(tmp_path)
+    value = 0.1234567890123456789  # exercises shortest-exact float repr
+    cache.put("d" * 64, "least-waste", 12345, value)
+    assert cache.get("d" * 64, "least-waste", 12345) == value
+    assert cache.get("d" * 64, "least-waste", 99999) is None
+    assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+    assert len(cache) == 1
+
+
+# ------------------------------------------------------------ progress hooks
+def test_progress_events_cover_all_seeds(tiny_platform, tiny_classes, tmp_path):
+    events: list[ProgressEvent] = []
+    cell = _tiny_cell(tiny_platform, tiny_classes, num_runs=3)
+    runner = ParallelRunner(cache_dir=tmp_path, progress=events.append)
+    run_cell(cell, runner=runner)
+    assert [e.completed for e in events] == [1, 2, 3]
+    assert all(e.total == 3 and e.cached == 0 for e in events)
+    assert events[0].label == "least-waste"
+
+    cached_events: list[ProgressEvent] = []
+    cached_runner = ParallelRunner(cache_dir=tmp_path, progress=cached_events.append)
+    run_cell(cell, runner=cached_runner)
+    assert cached_events[-1].completed == 3
+    assert cached_events[-1].cached == 3
+
+
+def test_progress_events_process_backend():
+    events: list[ProgressEvent] = []
+    runner = ParallelRunner(
+        backend="process", workers=2, chunk_size=2, progress=events.append
+    )
+    runner.map_seeds(_experiment, derive_seeds(0, 6), label="toy")
+    assert events[-1].completed == 6
+    assert sorted(e.completed for e in events)[-1] == 6
+    assert all(e.label == "toy" for e in events)
+
+
+# ------------------------------------------------------------ waste task
+def test_waste_ratio_task_matches_direct_simulation(tiny_config):
+    from repro.simulation.simulator import Simulation
+
+    config = tiny_config()
+    task = WasteRatioTask(config)
+    seed = derive_seeds(0, 1)[0]
+    assert task(seed) == Simulation(config.with_seed(seed)).run().waste_ratio

@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.exec import ParallelRunner
 from repro.experiments.figure1 import Figure1Config, render_figure1, run_figure1
 from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
 from repro.experiments.figure3 import Figure3Config, _min_bandwidth, render_figure3, run_figure3
@@ -82,6 +83,31 @@ def test_run_sweep_structure(tiny_platform, tiny_classes):
     assert "theoretical-model" in text
     detailed = render_sweep_detailed(result, title="sweep")
     assert "oblivious-fixed" in detailed
+
+
+def test_run_sweep_through_parallel_runner_matches_serial(tiny_platform, tiny_classes):
+    """Smoke test: a 2-worker process sweep equals the serial sweep exactly."""
+
+    def sweep(runner: ParallelRunner | None) -> object:
+        return run_sweep(
+            parameter_name="bandwidth (GB/s)",
+            parameter_values=[1.0, 2.0],
+            platform_for=lambda bw: tiny_platform.with_bandwidth(bw * 1e9),
+            workload_for=lambda platform: tiny_classes,
+            strategies=("oblivious-fixed", "least-waste"),
+            horizon_days=0.25,
+            warmup_days=0.02,
+            cooldown_days=0.02,
+            num_runs=2,
+            base_seed=5,
+            runner=runner,
+        )
+
+    serial = sweep(None)
+    parallel = sweep(ParallelRunner(backend="process", workers=2))
+    # SweepResult is a plain dataclass of exact floats: == compares every
+    # per-strategy DistributionSummary and the theory series bit-for-bit.
+    assert parallel == serial
 
 
 def test_run_sweep_requires_values(tiny_platform, tiny_classes):

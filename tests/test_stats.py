@@ -30,6 +30,15 @@ def test_summarize_constant_sample():
     assert summary.decile1 == summary.decile9 == 3.0
 
 
+def test_summarize_mean_clamped_into_sample_range():
+    # Pairwise-summation rounding can push np.mean a few ULPs past the
+    # extrema for pathological values; summarize must clamp it back.
+    value = 5.83321493915412e-210
+    summary = summarize([value] * 3)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.mean == value
+
+
 def test_summarize_rejects_bad_input():
     with pytest.raises(AnalysisError):
         summarize([])

@@ -1,0 +1,100 @@
+"""Seed-derivation stability (repro.stats.montecarlo.derive_seeds).
+
+The on-disk result cache keys entries by the *derived* per-run seeds, so
+any change to the derivation silently invalidates every cached result and
+breaks cross-version reproducibility.  These tests pin the exact derived
+values for fixed base seeds; if a refactor ever changes them, it must also
+bump ``repro.exec.digest.DIGEST_VERSION`` and update the pins deliberately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.montecarlo import DerivedSeeds, derive_seeds, resolve_base_seed
+
+#: Exact derivation outputs pinned against the current SeedSequence scheme.
+PINNED_SEEDS = {
+    0: [
+        4334430513956379144,
+        2440950710608614359,
+        8226343694796210948,
+        6619194650426729951,
+        8366031049750315900,
+    ],
+    42: [
+        8069173719269958482,
+        67091864417934941,
+        5800923004941853430,
+        1873989265477067874,
+        4950238818811482667,
+    ],
+    2018: [
+        4635298058595303609,
+        5909864665720692783,
+        8800430983715898463,
+        220802301681091403,
+        1172329535173036626,
+    ],
+}
+
+
+@pytest.mark.parametrize("base_seed", sorted(PINNED_SEEDS))
+def test_derive_seeds_exact_values_are_pinned(base_seed):
+    assert derive_seeds(base_seed, 5) == PINNED_SEEDS[base_seed]
+
+
+@pytest.mark.parametrize("base_seed", [0, 42, 2018, 987654321])
+@pytest.mark.parametrize("n,k", [(1, 1), (3, 4), (10, 15)])
+def test_derive_seeds_prefix_stability(base_seed, n, k):
+    """``derive_seeds(s, n)`` is a prefix of ``derive_seeds(s, n + k)``."""
+    short = derive_seeds(base_seed, n)
+    long = derive_seeds(base_seed, n + k)
+    assert list(long)[:n] == list(short)
+    assert len(set(long)) == n + k  # all distinct
+
+
+def test_derive_seeds_are_63_bit_non_negative():
+    for seed in derive_seeds(123, 64):
+        assert 0 <= seed < 2**63
+
+
+def test_derive_seeds_requires_positive_runs():
+    with pytest.raises(AnalysisError):
+        derive_seeds(0, 0)
+    with pytest.raises(AnalysisError):
+        derive_seeds(None, -1)
+
+
+# ------------------------------------------------------------- None seeds
+def test_derive_seeds_none_records_resolved_entropy():
+    seeds = derive_seeds(None, 4)
+    assert isinstance(seeds, DerivedSeeds)
+    assert isinstance(seeds.base_entropy, int)
+    # The recorded entropy regenerates the exact same seeds: "no seed" runs
+    # stay reproducible and cacheable after the fact.
+    assert derive_seeds(seeds.base_entropy, 4) == list(seeds)
+    # And the replay records the same root, so it chains indefinitely.
+    assert derive_seeds(seeds.base_entropy, 4).base_entropy == seeds.base_entropy
+
+
+def test_derive_seeds_none_resolves_fresh_entropy_per_call():
+    a = derive_seeds(None, 3)
+    b = derive_seeds(None, 3)
+    assert a.base_entropy != b.base_entropy  # 128-bit OS entropy
+    assert list(a) != list(b)
+
+
+def test_resolve_base_seed_passthrough_and_entropy():
+    assert resolve_base_seed(7) == 7
+    assert resolve_base_seed(0) == 0
+    resolved = resolve_base_seed(None)
+    assert isinstance(resolved, int) and resolved >= 0
+    # Resolution is idempotent: a resolved seed resolves to itself.
+    assert resolve_base_seed(resolved) == resolved
+
+
+def test_explicit_base_seed_keeps_recorded_entropy():
+    seeds = derive_seeds(42, 5)
+    assert seeds.base_entropy == 42
