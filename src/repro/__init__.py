@@ -14,8 +14,8 @@ The package provides three layers:
 * the evaluation harness — workload definitions (:mod:`repro.workloads`),
   the top-level simulator (:mod:`repro.simulation`), Monte-Carlo statistics
   (:mod:`repro.stats`), parallel execution and result caching
-  (:mod:`repro.exec`) and per-figure experiments
-  (:mod:`repro.experiments`).
+  (:mod:`repro.exec`), per-figure experiments (:mod:`repro.experiments`)
+  and declarative scenario campaigns (:mod:`repro.scenarios`).
 
 Quickstart
 ----------
@@ -49,6 +49,7 @@ from repro.core.least_waste import (
     expected_waste,
     select_candidate,
 )
+from repro.platform.failures import FailureModel
 from repro.platform.spec import PlatformSpec
 from repro.apps.app_class import ApplicationClass
 from repro.apps.checkpoint_policy import CheckpointPolicy, DalyPolicy, FixedPolicy
@@ -65,6 +66,11 @@ from repro.stats.montecarlo import derive_seeds, monte_carlo
 from repro.exec.cache import ResultCache
 from repro.exec.digest import config_digest
 from repro.exec.runner import ParallelRunner
+from repro.scenarios.campaign import Axis, AxisPoint, Campaign
+from repro.scenarios.presets import campaign_names, make_campaign
+from repro.scenarios.report import campaign_to_csv, render_campaign
+from repro.scenarios.runner import CampaignResult, CampaignRunner
+from repro.scenarios.spec import Scenario
 
 __version__ = "1.0.0"
 
@@ -87,6 +93,7 @@ __all__ = [
     "expected_waste",
     "select_candidate",
     # platform / apps
+    "FailureModel",
     "PlatformSpec",
     "ApplicationClass",
     "CheckpointPolicy",
@@ -119,4 +126,15 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "config_digest",
+    # scenario campaigns
+    "Axis",
+    "AxisPoint",
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "Scenario",
+    "campaign_names",
+    "campaign_to_csv",
+    "make_campaign",
+    "render_campaign",
 ]

@@ -11,6 +11,8 @@ from the shell::
     coopckpt figure3 --num-runs 2
     coopckpt ablation --study interference
     coopckpt trace --strategy least-waste --horizon-days 2
+    coopckpt campaign --preset smoke --workers 4 --cache-dir ~/.cache/coopckpt
+    coopckpt campaign --preset prospective-resilience --details --csv campaign.csv
 
 Every experiment prints a plain-text table mirroring the corresponding table
 or figure of the paper; the figure commands can additionally export CSV/JSON
@@ -34,6 +36,7 @@ from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
 from repro.experiments.table1 import render_table1
 from repro.experiments.theory import theoretical_waste
 from repro.iosched.registry import STRATEGIES
+from repro.scenarios.presets import CAMPAIGNS
 from repro.simulation.simulator import run_simulation
 from repro.units import HOUR
 from repro.workloads.apex import apex_workload
@@ -145,6 +148,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="strategy to ablate (defaults per study)",
     )
     _add_runner_arguments(ablation)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a scenario campaign (platform/failure/workload matrix)"
+    )
+    campaign.add_argument(
+        "--preset", choices=sorted(CAMPAIGNS), default="smoke",
+        help="campaign preset to expand (default: smoke)",
+    )
+    campaign.add_argument(
+        "--num-runs", type=int, default=None,
+        help="Monte-Carlo repetitions per (scenario, strategy) cell",
+    )
+    campaign.add_argument(
+        "--horizon-days", type=float, default=None,
+        help="simulated segment length per repetition",
+    )
+    campaign.add_argument(
+        "--strategies", choices=STRATEGIES, nargs="+", default=None,
+        help="strategy subset to compare (default: the preset's own set)",
+    )
+    campaign.add_argument(
+        "--details", action="store_true",
+        help="append per-scenario candlestick statistics",
+    )
+    campaign.add_argument(
+        "--best-summary", action="store_true",
+        help="re-simulate each scenario's best strategy once and print its full summary",
+    )
+    campaign.add_argument("--csv", metavar="PATH", help="also write every cell as CSV")
+    _add_runner_arguments(campaign)
 
     trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
     trace.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
@@ -298,6 +331,51 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
     return render_ablation(title, cells)
 
 
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    from repro.scenarios.presets import make_campaign
+    from repro.scenarios.report import campaign_to_csv, render_campaign, render_campaign_details
+    from repro.scenarios.runner import CampaignRunner
+
+    overrides: dict[str, object] = {}
+    if args.num_runs is not None:
+        if args.num_runs <= 0:
+            raise SystemExit("--num-runs must be positive")
+        overrides["num_runs"] = args.num_runs
+    if args.horizon_days is not None:
+        overrides["horizon_days"] = args.horizon_days
+    if args.strategies is not None:
+        overrides["strategies"] = tuple(args.strategies)
+    campaign = make_campaign(args.preset, **overrides)
+
+    runner = CampaignRunner(runner=_runner_from_args(args))
+    result = runner.run(campaign)
+    parts = [campaign.describe(), "", render_campaign(result)]
+    if args.details:
+        parts.append("")
+        parts.append(render_campaign_details(result))
+    if args.best_summary:
+        for outcome in result.outcomes:
+            best = outcome.best_strategy()
+            detail = runner.detail(outcome.scenario, best)
+            parts.append("")
+            parts.append(f"--- {outcome.scenario.name} / {best} (first seed) ---")
+            parts.append(detail.summary())
+    if args.cache_dir is not None and runner.runner.cache is not None:
+        stats = runner.runner.stats
+        parts.append("")
+        parts.append(
+            f"cache: {stats.cache_hits} hit(s), {stats.tasks_run} simulation(s) "
+            f"this run ({runner.runner.cache.root})"
+        )
+    if args.csv:
+        from repro.experiments.export import write_text
+
+        path = write_text(args.csv, campaign_to_csv(result))
+        parts.append("")
+        parts.append(f"wrote {path}")
+    return "\n".join(parts)
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.simulation.config import SimulationConfig
     from repro.simulation.simulator import Simulation
@@ -341,6 +419,7 @@ _COMMANDS = {
     "figure2": _cmd_figure2,
     "figure3": _cmd_figure3,
     "ablation": _cmd_ablation,
+    "campaign": _cmd_campaign,
     "trace": _cmd_trace,
 }
 

@@ -25,6 +25,7 @@ simulation it replaced.
 from __future__ import annotations
 
 import json
+import math
 import os
 import tempfile
 from pathlib import Path
@@ -61,7 +62,15 @@ class ResultCache:
 
     # ------------------------------------------------------------ access
     def get(self, digest: str, strategy: str, seed: int) -> float | None:
-        """Cached value for one key, or ``None`` on a miss."""
+        """Cached value for one key, or ``None`` on a miss.
+
+        Corrupt entries never propagate: unreadable files, malformed or
+        truncated JSON, wrong payload shapes and non-finite values (a
+        truncated/garbled write can still parse — ``NaN``/``Infinity`` are
+        valid JSON extensions, but never valid simulation results) all count
+        as misses, so the seed is re-simulated and the entry rewritten
+        instead of the corruption killing a whole campaign.
+        """
         path = self._entry_path(digest, strategy, seed)
         try:
             with path.open("r", encoding="utf-8") as handle:
@@ -70,6 +79,9 @@ class ResultCache:
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
             # Unreadable or malformed entries (stray files, foreign formats)
             # count as misses: the seed is simply re-simulated.
+            self.misses += 1
+            return None
+        if not math.isfinite(value):
             self.misses += 1
             return None
         self.hits += 1

@@ -26,7 +26,9 @@ from repro.simulation.config import SimulationConfig
 __all__ = ["DIGEST_VERSION", "config_digest"]
 
 #: Cache-format version; bump to invalidate every previously cached result.
-DIGEST_VERSION = "1"
+#: v2: SimulationConfig grew a ``failure_model`` field (pluggable failure
+#: inter-arrival distributions), which changes the digest payload schema.
+DIGEST_VERSION = "2"
 
 #: Config fields excluded from the digest: the seed is a separate cache-key
 #: component and trace collection does not affect simulated results.

@@ -21,6 +21,7 @@ engine/I-O subsystem, and ``Strategy.policy`` provides the period policy.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 
 from repro.apps.checkpoint_policy import CheckpointPolicy, make_policy
@@ -111,11 +112,18 @@ def make_strategy(name: str, *, fixed_period_s: float = HOUR) -> Strategy:
     fixed_period_s:
         Period used by the ``*-fixed`` variants (default one hour).
     """
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"strategy name must be a string, got {type(name).__name__}; "
+            f"valid names: {', '.join(STRATEGIES)}"
+        )
     key = name.strip().lower()
     if key not in _LABELS:
-        raise ConfigurationError(
-            f"unknown strategy {name!r}; expected one of {', '.join(STRATEGIES)}"
-        )
+        message = f"unknown strategy {name!r}; expected one of {', '.join(STRATEGIES)}"
+        close = difflib.get_close_matches(key, STRATEGIES, n=1, cutoff=0.6)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        raise ConfigurationError(message)
     if key == "least-waste":
         scheduler_key, policy_key = "least-waste", "daly"
     else:

@@ -5,7 +5,8 @@
   aggregate file-system bandwidth, node MTBF.
 * :mod:`repro.platform.nodes` — the space-shared node pool used by the job
   scheduler, tracking which nodes run which job.
-* :mod:`repro.platform.failures` — exponential failure-trace generation and
+* :mod:`repro.platform.failures` — failure-trace generation with pluggable
+  inter-arrival distributions (exponential by default, Weibull optional) and
   the failure injector that maps failures to running jobs.
 * :mod:`repro.platform.io_subsystem` — the time-shared parallel file system
   with the paper's linear interference model (concurrent transfers share
@@ -14,7 +15,13 @@
 
 from repro.platform.spec import PlatformSpec
 from repro.platform.nodes import NodePool
-from repro.platform.failures import FailureEvent, FailureTrace, generate_failure_trace
+from repro.platform.failures import (
+    FAILURE_MODEL_KINDS,
+    FailureEvent,
+    FailureModel,
+    FailureTrace,
+    generate_failure_trace,
+)
 from repro.platform.interference import (
     CappedConcurrencyInterference,
     DegradingInterference,
@@ -26,7 +33,9 @@ from repro.platform.io_subsystem import IOSubsystem, Transfer
 __all__ = [
     "PlatformSpec",
     "NodePool",
+    "FAILURE_MODEL_KINDS",
     "FailureEvent",
+    "FailureModel",
     "FailureTrace",
     "generate_failure_trace",
     "InterferenceModel",

@@ -6,6 +6,12 @@ distribution whose rate is the aggregate failure rate ``N / mu_ind`` (one
 failure every ``system MTBF`` seconds on average), and each failure strikes
 a uniformly-random node.
 
+The inter-arrival distribution is pluggable through :class:`FailureModel`:
+the default is the paper's exponential process, and a Weibull alternative
+(shape ``k < 1`` models the infant-mortality / bursty behaviour reported in
+HPC failure studies) draws gaps whose *mean* still equals the platform's
+system MTBF, so scenarios with different models stay comparable.
+
 The trace is part of a simulation's *initial conditions*: the same trace is
 replayed against every scheduling strategy being compared, so strategies are
 evaluated on identical failure scenarios.
@@ -13,6 +19,7 @@ evaluated on identical failure scenarios.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from collections.abc import Iterator, Sequence
 
@@ -21,7 +28,69 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.platform.spec import PlatformSpec
 
-__all__ = ["FailureEvent", "FailureTrace", "generate_failure_trace"]
+__all__ = [
+    "FAILURE_MODEL_KINDS",
+    "FailureEvent",
+    "FailureModel",
+    "FailureTrace",
+    "generate_failure_trace",
+]
+
+#: Supported inter-arrival distributions.
+FAILURE_MODEL_KINDS: tuple[str, ...] = ("exponential", "weibull")
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Distribution of the platform-wide failure inter-arrival times.
+
+    Attributes
+    ----------
+    kind:
+        ``"exponential"`` (the paper's memoryless process, the default) or
+        ``"weibull"``.
+    shape:
+        Weibull shape parameter ``k``; ``k < 1`` yields burstier failures
+        (decreasing hazard rate), ``k > 1`` more regular ones.  Must be 1.0
+        for the exponential kind (where it has no effect), so that equal
+        models compare equal and hash identically in cache digests.
+
+    Whatever the kind, gaps are scaled so their mean equals the platform's
+    system MTBF: for Weibull the scale is ``mtbf / gamma(1 + 1/k)``.  Note
+    that ``weibull`` with ``shape=1.0`` is mathematically exponential but
+    consumes the random stream differently, so it is deliberately kept
+    distinct (different digest, different trace).
+    """
+
+    kind: str = "exponential"
+    shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_MODEL_KINDS:
+            raise ConfigurationError(
+                f"unknown failure model {self.kind!r}; "
+                f"expected one of {', '.join(FAILURE_MODEL_KINDS)}"
+            )
+        if not (math.isfinite(self.shape) and self.shape > 0.0):
+            raise ConfigurationError("failure model shape must be positive and finite")
+        if self.kind == "exponential" and self.shape != 1.0:
+            raise ConfigurationError(
+                "the exponential failure model has no shape parameter "
+                "(use kind='weibull' for shaped inter-arrival times)"
+            )
+
+    def draw_gaps(self, rng: np.random.Generator, mean_s: float, size: int) -> np.ndarray:
+        """Draw ``size`` inter-arrival gaps with mean ``mean_s`` (seconds)."""
+        if self.kind == "weibull":
+            scale = mean_s / math.gamma(1.0 + 1.0 / self.shape)
+            return scale * rng.weibull(self.shape, size=size)
+        return rng.exponential(scale=mean_s, size=size)
+
+    def describe(self) -> str:
+        """Short human-readable label (used in scenario reports)."""
+        if self.kind == "weibull":
+            return f"weibull(k={self.shape:g})"
+        return "exponential"
 
 
 @dataclass(frozen=True)
@@ -88,11 +157,13 @@ def generate_failure_trace(
     platform: PlatformSpec,
     horizon_s: float,
     rng: np.random.Generator,
+    model: FailureModel | None = None,
 ) -> FailureTrace:
     """Draw a failure trace for ``platform`` over ``[0, horizon_s]``.
 
-    Inter-arrival times are exponential with mean ``platform.system_mtbf_s``;
-    each failure is assigned a uniformly random node id.
+    Inter-arrival times follow ``model`` (exponential by default) with mean
+    ``platform.system_mtbf_s``; each failure is assigned a uniformly random
+    node id.
 
     Parameters
     ----------
@@ -103,9 +174,14 @@ def generate_failure_trace(
     rng:
         Source of randomness (use a dedicated stream so the trace does not
         depend on how many other random draws the simulation makes).
+    model:
+        Inter-arrival distribution; ``None`` selects the exponential model
+        and is bit-identical to the historical behaviour.
     """
     if horizon_s < 0.0:
         raise ConfigurationError("horizon_s must be non-negative")
+    if model is None:
+        model = FailureModel()
     mean = platform.system_mtbf_s
     # Draw in blocks: the expected number of failures is horizon/mean, draw a
     # comfortable margin then trim, topping up in the unlikely case the block
@@ -115,7 +191,7 @@ def generate_failure_trace(
     current = 0.0
     block = max(16, int(expected * 1.5) + 16)
     while current <= horizon_s:
-        gaps = rng.exponential(scale=mean, size=block)
+        gaps = model.draw_gaps(rng, mean, block)
         for gap in gaps:
             current += float(gap)
             if current > horizon_s:

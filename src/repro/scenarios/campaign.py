@@ -1,0 +1,160 @@
+"""Campaigns: named matrices of scenarios expanded from axes.
+
+A :class:`Campaign` pairs a base :class:`~repro.scenarios.spec.Scenario`
+with zero or more :class:`Axis` objects.  Each axis contributes a set of
+labelled override points (e.g. ``mtbf=short -> {"node_mtbf_years": 2}``);
+the campaign is the cartesian product of the axes, each combination applied
+to the base scenario through :meth:`Scenario.apply`.
+
+Expansion is fully deterministic: scenarios are produced in row-major axis
+order with names like ``"io=weak,mtbf=short"``, so re-running a campaign
+(or growing one axis) maps the unchanged cells onto the same configurations
+— and therefore onto the same result-cache keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import Scenario
+
+__all__ = ["Axis", "AxisPoint", "Campaign"]
+
+
+@dataclass(frozen=True)
+class AxisPoint:
+    """One labelled point of an axis: a name plus scenario overrides."""
+
+    label: str
+    overrides: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("axis point requires a non-empty label")
+        object.__setattr__(self, "overrides", dict(self.overrides))
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One dimension of a campaign matrix.
+
+    Attributes
+    ----------
+    name:
+        Axis name; combined with point labels in scenario names
+        (``"<name>=<label>"``).
+    points:
+        The labelled override points of the axis, in sweep order.
+    """
+
+    name: str
+    points: tuple[AxisPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis requires a non-empty name")
+        object.__setattr__(self, "points", tuple(self.points))
+        if not self.points:
+            raise ConfigurationError(f"axis {self.name!r} has no points")
+        labels = [point.label for point in self.points]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"axis {self.name!r} has duplicate point labels")
+
+    @classmethod
+    def from_values(
+        cls,
+        name: str,
+        key: str,
+        values: Iterable[object],
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> "Axis":
+        """Build an axis sweeping a single override key over ``values``.
+
+        ``labels`` defaults to ``str(value)`` (floats use ``:g`` so
+        ``40.0`` reads ``40``).
+        """
+        values = list(values)
+        if labels is None:
+            labels = [f"{v:g}" if isinstance(v, float) else str(v) for v in values]
+        if len(labels) != len(values):
+            raise ConfigurationError(
+                f"axis {name!r}: {len(labels)} labels for {len(values)} values"
+            )
+        return cls(
+            name=name,
+            points=tuple(
+                AxisPoint(label=label, overrides={key: value})
+                for label, value in zip(labels, values)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named matrix of scenarios: base scenario x axes.
+
+    ``scenarios()`` expands the matrix; with no axes the campaign is the
+    single base scenario.  Axis overrides are merged per combination (later
+    axes win on conflicting keys) and applied in one :meth:`Scenario.apply`
+    call, so a workload-factory override always sees the platform with every
+    platform-level override of the combination already applied, regardless
+    of axis order.
+    """
+
+    name: str
+    base: Scenario
+    axes: tuple[Axis, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("Campaign requires a non-empty name")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        axis_names = [axis.name for axis in self.axes]
+        if len(set(axis_names)) != len(axis_names):
+            raise ConfigurationError(f"campaign {self.name!r} has duplicate axis names")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Number of points per axis (empty for a single-scenario campaign)."""
+        return tuple(len(axis.points) for axis in self.axes)
+
+    def size(self) -> int:
+        """Total number of scenarios in the matrix."""
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the matrix into concrete scenarios, row-major in axis order."""
+        if not self.axes:
+            return [self.base]
+        expanded: list[Scenario] = []
+        for combo in itertools.product(*(axis.points for axis in self.axes)):
+            merged: dict[str, object] = {}
+            for point in combo:
+                merged.update(point.overrides)
+            # A point-level "name" override renames the cell; otherwise the
+            # name is composed from the axis labels.
+            label = merged.pop(
+                "name",
+                ",".join(f"{axis.name}={point.label}" for axis, point in zip(self.axes, combo)),
+            )
+            expanded.append(self.base.apply(str(label), **merged))
+        return expanded
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the campaign."""
+        lines = [
+            f"Campaign {self.name}: {self.size()} scenario(s), "
+            f"{len(self.base.strategies)} strategies, {self.base.num_runs} runs each",
+            f"  base: {self.base.describe()}",
+        ]
+        for axis in self.axes:
+            points = ", ".join(point.label for point in axis.points)
+            lines.append(f"  axis {axis.name}: {points}")
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Campaign execution on top of the parallel experiment runner.
+
+:class:`CampaignRunner` walks a campaign's scenario matrix and evaluates
+every (scenario, strategy) cell through
+:meth:`repro.exec.runner.ParallelRunner.run_config`, so campaigns inherit
+the execution subsystem wholesale: the serial and process backends return
+bit-identical tables, and an attached :class:`~repro.exec.cache.ResultCache`
+means an immediate re-run (or a grown matrix) only simulates cells it has
+never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.exec.runner import ParallelRunner
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.spec import Scenario
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import Simulation
+from repro.stats.montecarlo import derive_seeds
+from repro.stats.summary import DistributionSummary, summarize
+
+__all__ = ["CampaignResult", "CampaignRunner", "ScenarioOutcome"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """All strategy summaries of one scenario.
+
+    ``summaries[strategy]`` is the waste-ratio distribution of ``strategy``
+    over the scenario's Monte-Carlo repetitions; every strategy saw the
+    same derived seeds, hence identical initial conditions.
+    """
+
+    scenario: Scenario
+    summaries: dict[str, DistributionSummary]
+
+    def best_strategy(self) -> str:
+        """Strategy with the lowest mean waste ratio (ties: declaration order)."""
+        return min(self.scenario.strategies, key=lambda s: self.summaries[s].mean)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run.
+
+    Attributes
+    ----------
+    campaign:
+        Name of the executed campaign.
+    strategies:
+        Every strategy evaluated by at least one scenario, base-scenario
+        order first, then axis-added strategies in appearance order (the
+        columns of the comparison table; scenarios that skip a column
+        render as ``-``).
+    outcomes:
+        One :class:`ScenarioOutcome` per scenario, in expansion order (the
+        rows of the comparison table).
+    """
+
+    campaign: str
+    strategies: tuple[str, ...]
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    def outcome(self, scenario_name: str) -> ScenarioOutcome:
+        """Outcome of the scenario named ``scenario_name``."""
+        for outcome in self.outcomes:
+            if outcome.scenario.name == scenario_name:
+                return outcome
+        known = ", ".join(o.scenario.name for o in self.outcomes)
+        raise ConfigurationError(
+            f"no scenario named {scenario_name!r} in campaign {self.campaign!r}; "
+            f"known scenarios: {known}"
+        )
+
+    def summary(self, scenario_name: str, strategy: str) -> DistributionSummary:
+        """Waste-ratio summary of one (scenario, strategy) cell."""
+        outcome = self.outcome(scenario_name)
+        if strategy not in outcome.summaries:
+            raise ConfigurationError(
+                f"scenario {scenario_name!r} did not evaluate strategy {strategy!r}"
+            )
+        return outcome.summaries[strategy]
+
+
+@dataclass
+class CampaignRunner:
+    """Executes campaigns through a shared :class:`ParallelRunner`.
+
+    The runner (its worker pool and result cache included) is shared by
+    every cell of every campaign this instance runs, so a campaign re-run
+    against the same cache directory performs zero new simulations.
+    """
+
+    runner: ParallelRunner = field(default_factory=ParallelRunner)
+
+    def run(self, campaign: Campaign) -> CampaignResult:
+        """Evaluate every (scenario, strategy) cell of ``campaign``."""
+        scenarios = campaign.scenarios()
+        # Table columns: the union of all evaluated strategies, so an axis
+        # that overrides ``strategies`` never drops simulated cells from the
+        # report.  Base order first, axis-added strategies as encountered.
+        columns = list(campaign.base.strategies)
+        for scenario in scenarios:
+            for strategy in scenario.strategies:
+                if strategy not in columns:
+                    columns.append(strategy)
+        result = CampaignResult(campaign=campaign.name, strategies=tuple(columns))
+        for scenario in scenarios:
+            result.outcomes.append(self.run_scenario(scenario))
+        return result
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioOutcome:
+        """Evaluate one scenario: every strategy over the scenario's seeds."""
+        seeds = derive_seeds(scenario.base_seed, scenario.num_runs)
+        summaries: dict[str, DistributionSummary] = {}
+        for strategy in scenario.strategies:
+            values = self.runner.run_config(
+                scenario.config(strategy),
+                seeds,
+                label=f"{scenario.name}/{strategy}",
+            )
+            summaries[strategy] = summarize(values)
+        return ScenarioOutcome(scenario=scenario, summaries=summaries)
+
+    def detail(self, scenario: Scenario, strategy: str) -> SimulationResult:
+        """Full :class:`SimulationResult` of the scenario's first seed.
+
+        The campaign table reduces each run to its waste ratio (that is
+        what the cache stores); this re-simulates one repetition to expose
+        the complete accounting breakdown and counters.
+
+        Requires a concrete ``base_seed``: with ``None`` every
+        ``derive_seeds`` call resolves fresh entropy, so the re-simulated
+        repetition would not be one of the runs the campaign table reports.
+        """
+        if scenario.base_seed is None:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} has base_seed=None; a detail run "
+                "needs a concrete base seed to replay a repetition the "
+                "campaign actually measured"
+            )
+        seed = derive_seeds(scenario.base_seed, 1)[0]
+        return Simulation(scenario.config(strategy).with_seed(seed)).run()

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
 from repro.iosched.registry import STRATEGIES
+from repro.platform.failures import FailureModel
 from repro.platform.interference import InterferenceModel
 from repro.platform.spec import PlatformSpec
 from repro.units import DAY, HOUR
@@ -73,6 +74,10 @@ class SimulationConfig:
     #: Optional adversarial interference model for the shared file system
     #: (None selects the paper's linear, throughput-conserving model).
     interference: InterferenceModel | None = None
+    #: Failure inter-arrival distribution (None selects the paper's
+    #: exponential process; the default exponential model normalises to None
+    #: so equivalent configurations share one cache digest).
+    failure_model: FailureModel | None = None
     #: When True the simulator records a per-job execution trace
     #: (see :mod:`repro.simulation.trace`), available as ``Simulation.trace``.
     collect_trace: bool = False
@@ -95,6 +100,13 @@ class SimulationConfig:
             raise ConfigurationError("routine_io_chunks must be non-negative")
         if self.max_events <= 0:
             raise ConfigurationError("max_events must be positive")
+        if self.failure_model is not None:
+            if not isinstance(self.failure_model, FailureModel):
+                raise ConfigurationError(
+                    f"failure_model must be a FailureModel, got {type(self.failure_model).__name__}"
+                )
+            if self.failure_model == FailureModel():
+                object.__setattr__(self, "failure_model", None)
         for app in self.classes:
             if app.nodes > self.platform.num_nodes:
                 raise ConfigurationError(
@@ -140,3 +152,7 @@ class SimulationConfig:
     def with_platform(self, platform: PlatformSpec) -> "SimulationConfig":
         """Copy of this configuration with a different platform."""
         return replace(self, platform=platform)
+
+    def with_failure_model(self, model: FailureModel | None) -> "SimulationConfig":
+        """Copy of this configuration with a different failure model."""
+        return replace(self, failure_model=model)

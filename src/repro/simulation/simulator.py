@@ -111,7 +111,10 @@ class Simulation:
         self.jobs: list[Job] = jobs
         if failure_trace is None:
             failure_trace = generate_failure_trace(
-                self.platform, config.horizon_s, self.streams.get("failures")
+                self.platform,
+                config.horizon_s,
+                self.streams.get("failures"),
+                model=config.failure_model,
             )
         self.failure_trace = failure_trace
 

@@ -1,0 +1,106 @@
+"""The ``campaign`` CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_the_campaign_subcommand():
+    args = build_parser().parse_args(["campaign"])
+    assert args.command == "campaign"
+    assert args.preset == "smoke"
+    args = build_parser().parse_args(
+        ["campaign", "--preset", "prospective-resilience", "--workers", "3"]
+    )
+    assert args.preset == "prospective-resilience"
+    assert args.workers == 3
+
+
+def test_campaign_rejects_unknown_preset(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--preset", "bogus"])
+
+
+def test_campaign_smoke_prints_the_comparison_table(capsys):
+    assert main(["campaign", "--preset", "smoke", "--num-runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Campaign smoke" in out
+    assert "io=1,mtbf=short" in out and "io=4,mtbf=long" in out
+    assert "least-waste" in out
+    assert "*" in out  # a winner is marked on every row
+
+
+def test_campaign_details_and_best_summary(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--preset", "smoke",
+                "--num-runs", "1",
+                "--horizon-days", "0.25",
+                "--strategies", "least-waste",
+                "--details",
+                "--best-summary",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "MiniCielo" in out  # details include scenario descriptions
+    assert "breakdown (node-hours in window):" in out  # full first-seed summary
+
+
+def test_campaign_csv_export(tmp_path, capsys):
+    csv_path = tmp_path / "campaign.csv"
+    assert (
+        main(
+            [
+                "campaign",
+                "--preset", "smoke",
+                "--num-runs", "1",
+                "--strategies", "least-waste",
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"wrote {csv_path}" in out
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("campaign,scenario,strategy,best,")
+
+
+def test_campaign_cache_reruns_without_simulating(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv = [
+        "campaign",
+        "--preset", "smoke",
+        "--num-runs", "1",
+        "--strategies", "least-waste",
+        "--cache-dir", str(cache),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "cache: 0 hit(s), 4 simulation(s)" in first
+
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "cache: 4 hit(s), 0 simulation(s)" in second
+    # The rendered table is identical either way.
+    assert first.split("cache:")[0] == second.split("cache:")[0]
+
+
+def test_campaign_workers_flag_matches_serial_output(capsys):
+    argv = ["campaign", "--preset", "smoke", "--num-runs", "2", "--strategies", "least-waste"]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_campaign_validates_num_runs():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--preset", "smoke", "--num-runs", "0"])

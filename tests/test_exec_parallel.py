@@ -162,6 +162,46 @@ def test_result_cache_treats_malformed_entries_as_misses(tmp_path):
     assert cache.misses == 4 and cache.hits == 0
 
 
+def test_result_cache_treats_nonfinite_and_truncated_entries_as_misses(tmp_path):
+    """Corruption that still parses as JSON must not escape the cache:
+    ``Infinity``/``NaN`` are valid JSON extensions but never valid results,
+    and a torn write can truncate mid-document or leave raw bytes."""
+    cache = ResultCache(tmp_path)
+    path = cache._entry_path("f" * 64, "least-waste", 2)
+    path.parent.mkdir(parents=True)
+    corruptions = [
+        '{"value": Infinity}',
+        '{"value": -Infinity}',
+        '{"value": NaN}',
+        '{"value": 0.12',  # truncated write
+    ]
+    for corrupt in corruptions:
+        path.write_text(corrupt)
+        assert cache.get("f" * 64, "least-waste", 2) is None
+    path.write_bytes(b"\x00\xffgarbage")  # binary garbage
+    assert cache.get("f" * 64, "least-waste", 2) is None
+    assert cache.misses == len(corruptions) + 1 and cache.hits == 0
+    # put() rewrites the corrupt entry in place; subsequent reads hit.
+    cache.put("f" * 64, "least-waste", 2, 0.25)
+    assert cache.get("f" * 64, "least-waste", 2) == 0.25
+
+
+def test_runner_resimulates_and_rewrites_corrupt_entries(tiny_platform, tiny_classes, tmp_path):
+    cell = _tiny_cell(tiny_platform, tiny_classes, num_runs=2)
+    reference = run_cell(cell, runner=ParallelRunner(cache_dir=tmp_path))
+    entry = sorted(tmp_path.glob("*/*/*/*.json"))[0]
+    entry.write_text('{"value": NaN}')
+
+    runner = ParallelRunner(cache_dir=tmp_path)
+    assert run_cell(cell, runner=runner) == reference
+    assert runner.stats.tasks_run == 1  # only the corrupt seed re-simulated
+    assert runner.stats.cache_hits == 1
+
+    fresh = ParallelRunner(cache_dir=tmp_path)
+    assert run_cell(cell, runner=fresh) == reference
+    assert fresh.stats.tasks_run == 0  # the rewrite stuck
+
+
 def test_process_pool_is_reused_across_batches():
     with ParallelRunner(backend="process", workers=2) as runner:
         runner.map_seeds(_experiment, derive_seeds(0, 4))

@@ -1,0 +1,104 @@
+"""Golden-value regression pins for the simulator.
+
+These tests pin exact small-sample summary statistics for one
+representative strategy per scheduler family on the miniature Cielo
+configuration.  They exist to make silent behaviour drift impossible: any
+refactor that changes a simulated result — event ordering, accounting,
+RNG consumption, scheduling decisions — fails here.
+
+If a change is *intentional* (a bug fix, a model change), do three things
+in the same commit:
+
+1. bump ``repro.exec.digest.DIGEST_VERSION`` (cached results on disk are
+   stale the moment results change),
+2. regenerate the pinned values below (run this file with
+   ``--print-golden`` style snippet in the module docstring of the test),
+3. say so in the commit message.
+
+``EXPECTED_DIGEST_VERSION`` ties 1 and 2 together: forgetting the bump
+fails the suite even if the goldens were regenerated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.digest import DIGEST_VERSION
+from repro.scenarios.presets import FAMILY_STRATEGIES, mini_apex_workload, mini_cielo_platform
+from repro.scenarios.runner import CampaignRunner
+from repro.scenarios.spec import Scenario
+
+#: The digest version these goldens were generated under.  If you changed
+#: simulator behaviour on purpose: bump DIGEST_VERSION, regenerate the
+#: GOLDEN_* values (see module docstring) and update this pin.
+EXPECTED_DIGEST_VERSION = "2"
+
+#: (mean, min, max) of the waste ratio per strategy; 3 seeds, base_seed 2018,
+#: miniature Cielo, 12-hour horizon.  Regenerate with:
+#:   PYTHONPATH=src python -c "import tests.test_golden_regression as g; g.print_golden()"
+GOLDEN_WASTE = {
+    "oblivious-daly": (0.13058508725313633, 0.0649079914192458, 0.24271995638571534),
+    "ordered-daly": (0.12775522921726082, 0.06178770096567396, 0.23902348856709577),
+    "orderednb-daly": (0.12260959233449209, 0.05683971747275822, 0.23902348856709577),
+    "least-waste": (0.12125304185116953, 0.05664244107345878, 0.23741511915894367),
+}
+
+
+def golden_scenario() -> Scenario:
+    return Scenario(
+        name="golden",
+        platform=mini_cielo_platform(),
+        workload=tuple(mini_apex_workload()),
+        strategies=FAMILY_STRATEGIES,
+        num_runs=3,
+        base_seed=2018,
+        horizon_days=0.5,
+        warmup_days=0.0625,
+        cooldown_days=0.0625,
+    )
+
+
+def print_golden() -> None:  # pragma: no cover - regeneration helper
+    outcome = CampaignRunner().run_scenario(golden_scenario())
+    for strategy in FAMILY_STRATEGIES:
+        summary = outcome.summaries[strategy]
+        print(f'    "{strategy}": ({summary.mean!r}, {summary.minimum!r}, {summary.maximum!r}),')
+
+
+def test_digest_version_matches_the_goldens():
+    assert DIGEST_VERSION == EXPECTED_DIGEST_VERSION, (
+        "DIGEST_VERSION changed without regenerating the golden values "
+        "(or the goldens were regenerated without bumping DIGEST_VERSION); "
+        "see the module docstring of test_golden_regression.py"
+    )
+
+
+def test_all_four_families_are_pinned():
+    assert tuple(GOLDEN_WASTE) == FAMILY_STRATEGIES
+
+
+def test_golden_waste_statistics_are_bit_exact():
+    outcome = CampaignRunner().run_scenario(golden_scenario())
+    observed = {
+        strategy: (summary.mean, summary.minimum, summary.maximum)
+        for strategy, summary in outcome.summaries.items()
+    }
+    mismatches = {
+        strategy: (observed[strategy], GOLDEN_WASTE[strategy])
+        for strategy in GOLDEN_WASTE
+        if observed[strategy] != GOLDEN_WASTE[strategy]
+    }
+    assert not mismatches, (
+        "simulated results drifted from the pinned goldens "
+        "(intentional changes must bump DIGEST_VERSION and regenerate; "
+        f"see module docstring): {mismatches}"
+    )
+
+
+def test_goldens_preserve_the_papers_strategy_ranking():
+    """On the reference scenario the paper's ordering holds: cooperative
+    strategies beat oblivious checkpointing, and Least-Waste wins."""
+    means = {strategy: mean for strategy, (mean, _, _) in GOLDEN_WASTE.items()}
+    assert means["least-waste"] < means["orderednb-daly"]
+    assert means["orderednb-daly"] < means["ordered-daly"]
+    assert means["ordered-daly"] < means["oblivious-daly"]

@@ -51,6 +51,33 @@ def test_make_strategy_is_case_insensitive_and_validates():
         make_strategy("round-robin")
 
 
+def test_make_strategy_error_lists_every_valid_name():
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_strategy("round-robin")
+    message = str(excinfo.value)
+    assert "round-robin" in message
+    for name in STRATEGIES:
+        assert name in message
+
+
+def test_make_strategy_suggests_close_matches():
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_strategy("least-wast")  # typo
+    assert "did you mean 'least-waste'?" in str(excinfo.value)
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_strategy("ordered-dally")
+    assert "did you mean 'ordered-daly'?" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("bad", [None, 3, ["least-waste"], b"least-waste"])
+def test_make_strategy_rejects_non_string_names_with_config_error(bad):
+    """Non-string input used to escape as AttributeError; it must surface as
+    the library's ConfigurationError with the valid names listed."""
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_strategy(bad)
+    assert "least-waste" in str(excinfo.value)
+
+
 def test_fixed_period_override_propagates():
     strategy = make_strategy("ordered-fixed", fixed_period_s=1800.0)
     assert isinstance(strategy.policy, FixedPolicy)

@@ -1,0 +1,219 @@
+"""Campaign execution (repro.scenarios.runner) and its cache/backend contract.
+
+The acceptance bar of the subsystem: a >= 2x2 matrix runs through
+``ParallelRunner``, an immediate re-run is served entirely from the
+``ResultCache`` (zero new simulations), and serial vs. process backends
+render byte-identical campaign tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.runner import ParallelRunner
+from repro.scenarios.campaign import Axis, AxisPoint, Campaign
+from repro.scenarios.report import campaign_to_csv, render_campaign, render_campaign_details
+from repro.scenarios.runner import CampaignRunner
+from repro.scenarios.spec import Scenario
+
+
+@pytest.fixture
+def matrix(tiny_platform, tiny_classes) -> Campaign:
+    """A 2x2 (bandwidth x MTBF) matrix on the toy platform; 16 tiny sims."""
+    base = Scenario(
+        name="toy",
+        platform=tiny_platform,
+        workload=tiny_classes,
+        strategies=("ordered-daly", "least-waste"),
+        num_runs=2,
+        horizon_days=0.5,
+        warmup_days=0.05,
+        cooldown_days=0.05,
+    )
+    return Campaign(
+        name="toy-matrix",
+        base=base,
+        axes=(
+            Axis.from_values("io", "bandwidth_gbs", [0.5, 2.0]),
+            Axis.from_values("mtbf", "node_mtbf_years", [0.05, 0.5]),
+        ),
+    )
+
+
+def _cells(campaign: Campaign) -> int:
+    return campaign.size() * len(campaign.base.strategies) * campaign.base.num_runs
+
+
+# ------------------------------------------------------------------ running
+def test_campaign_runs_every_cell_through_the_runner(matrix):
+    runner = CampaignRunner()
+    result = runner.run(matrix)
+    assert runner.runner.stats.tasks_run == _cells(matrix)
+    assert [o.scenario.name for o in result.outcomes] == [
+        s.name for s in matrix.scenarios()
+    ]
+    for outcome in result.outcomes:
+        assert set(outcome.summaries) == set(matrix.base.strategies)
+        for summary in outcome.summaries.values():
+            assert summary.n == matrix.base.num_runs
+            assert 0.0 <= summary.mean <= 1.0
+
+
+def test_result_lookup_helpers(matrix):
+    result = CampaignRunner().run(matrix)
+    name = result.outcomes[0].scenario.name
+    outcome = result.outcome(name)
+    assert result.summary(name, "least-waste") == outcome.summaries["least-waste"]
+    assert outcome.best_strategy() in matrix.base.strategies
+    with pytest.raises(ConfigurationError):
+        result.outcome("nope")
+    with pytest.raises(ConfigurationError):
+        result.summary(name, "oblivious-fixed")
+
+
+def test_detail_exposes_the_full_simulation_result(matrix):
+    from repro.stats.montecarlo import derive_seeds
+
+    runner = CampaignRunner()
+    scenario = matrix.scenarios()[0]
+    detail = runner.detail(scenario, "least-waste")
+    assert detail.strategy == "least-waste"
+    assert 0.0 <= detail.waste_ratio <= 1.0
+    # The detailed run replays the scenario's first derived seed exactly.
+    values = runner.runner.run_config(
+        scenario.config("least-waste"),
+        derive_seeds(scenario.base_seed, scenario.num_runs),
+    )
+    assert detail.waste_ratio == values[0]
+
+
+def test_detail_requires_a_concrete_base_seed(matrix):
+    """With base_seed=None every derive_seeds call resolves fresh entropy,
+    so a detail run could not replay a repetition the table measured."""
+    import dataclasses
+
+    unseeded = dataclasses.replace(matrix.scenarios()[0], base_seed=None)
+    with pytest.raises(ConfigurationError):
+        CampaignRunner().detail(unseeded, "least-waste")
+
+
+# ------------------------------------------------------------------- cache
+def test_campaign_rerun_hits_the_cache_with_zero_new_simulations(matrix, tmp_path):
+    first = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    a = first.run(matrix)
+    assert first.runner.stats.tasks_run == _cells(matrix)
+    assert first.runner.stats.cache_hits == 0
+
+    second = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    b = second.run(matrix)
+    assert second.runner.stats.tasks_run == 0  # zero new simulations
+    assert second.runner.stats.cache_hits == _cells(matrix)
+    assert render_campaign(a) == render_campaign(b)
+    assert campaign_to_csv(a) == campaign_to_csv(b)
+
+
+def test_growing_the_matrix_only_simulates_new_cells(matrix, tmp_path):
+    CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path)).run(matrix)
+
+    grown = Campaign(
+        name=matrix.name,
+        base=matrix.base,
+        axes=(
+            Axis.from_values("io", "bandwidth_gbs", [0.5, 2.0, 8.0]),  # one new point
+            matrix.axes[1],
+        ),
+    )
+    runner = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    runner.run(grown)
+    new_cells = 2 * len(matrix.base.strategies) * matrix.base.num_runs  # io=8 column
+    assert runner.runner.stats.tasks_run == new_cells
+    assert runner.runner.stats.cache_hits == _cells(matrix)
+
+
+def test_corrupt_cache_entry_is_resimulated_and_rewritten(matrix, tmp_path):
+    """A corrupt or truncated entry degrades to a miss mid-campaign: the cell
+    is re-simulated, the entry rewritten, and the table is unchanged."""
+    warm = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    reference = warm.run(matrix)
+
+    entries = sorted(tmp_path.glob("*/*/*/*.json"))
+    assert len(entries) == _cells(matrix)
+    entries[0].write_text('{"value": 0.12')  # truncated write
+    entries[1].write_text('{"value": Infinity}')  # parses, but not a result
+    entries[2].write_bytes(b"\x00\xff\x00garbage")  # binary garbage
+
+    rerun = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    result = rerun.run(matrix)
+    assert rerun.runner.stats.tasks_run == 3  # only the corrupt cells
+    assert render_campaign(result) == render_campaign(reference)
+
+    # The corrupt entries were rewritten: a third pass is all hits again.
+    final = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    final.run(matrix)
+    assert final.runner.stats.tasks_run == 0
+
+
+# ------------------------------------------------- backend bit-identity
+def test_serial_and_process_backends_render_identical_tables(matrix):
+    serial = CampaignRunner(runner=ParallelRunner(backend="serial"))
+    table_serial = serial.run(matrix)
+    with ParallelRunner(backend="process", workers=2) as pool:
+        table_process = CampaignRunner(runner=pool).run(matrix)
+    assert render_campaign(table_serial) == render_campaign(table_process)
+    assert render_campaign_details(table_serial) == render_campaign_details(table_process)
+    assert campaign_to_csv(table_serial) == campaign_to_csv(table_process)
+
+
+def test_axis_added_strategies_appear_in_the_table(matrix):
+    """An axis that overrides ``strategies`` must not lose simulated cells:
+    the table columns are the union of every scenario's strategy set."""
+    widened = Campaign(
+        name="widened",
+        base=matrix.base,
+        axes=(
+            Axis(
+                name="strat",
+                points=(
+                    AxisPoint("families", {"strategies": ("oblivious-daly", "least-waste")}),
+                    AxisPoint("base", {}),
+                ),
+            ),
+        ),
+    )
+    result = CampaignRunner().run(widened)
+    assert result.strategies == ("ordered-daly", "least-waste", "oblivious-daly")
+    table = render_campaign(result)
+    assert "oblivious-daly" in table
+    # The cell skipped by the base-strategy scenario renders as '-', while
+    # the axis-added strategy's simulated cell is reported.
+    assert result.summary("strat=families", "oblivious-daly").n == matrix.base.num_runs
+    csv_text = campaign_to_csv(result)
+    assert "oblivious-daly" in csv_text
+
+
+# ------------------------------------------------------------- rendering
+def test_render_campaign_marks_the_best_strategy(matrix):
+    result = CampaignRunner().run(matrix)
+    table = render_campaign(result)
+    for outcome in result.outcomes:
+        assert outcome.scenario.name in table
+    assert table.count("*") >= len(result.outcomes)  # one winner per row
+
+
+def test_campaign_csv_quotes_scenario_names(matrix):
+    import csv
+    import io
+
+    result = CampaignRunner().run(matrix)
+    rows = list(csv.reader(io.StringIO(campaign_to_csv(result))))
+    header, data = rows[0], rows[1:]
+    assert header[:4] == ["campaign", "scenario", "strategy", "best"]
+    assert len(data) == matrix.size() * len(matrix.base.strategies)
+    # Scenario names contain commas yet survive the round-trip intact.
+    names = {row[1] for row in data}
+    assert names == {s.name for s in matrix.scenarios()}
+    # Exactly one winner per scenario.
+    for scenario in matrix.scenarios():
+        winners = [row for row in data if row[1] == scenario.name and row[3] == "1"]
+        assert len(winners) == 1
