@@ -14,8 +14,10 @@ The package provides three layers:
 * the evaluation harness — workload definitions (:mod:`repro.workloads`),
   the top-level simulator (:mod:`repro.simulation`), Monte-Carlo statistics
   (:mod:`repro.stats`), parallel execution and result caching
-  (:mod:`repro.exec`), per-figure experiments (:mod:`repro.experiments`)
-  and declarative scenario campaigns (:mod:`repro.scenarios`).
+  (:mod:`repro.exec`), broker-less distributed execution over a filesystem
+  work spool (:mod:`repro.distributed`), per-figure experiments
+  (:mod:`repro.experiments`) and declarative scenario campaigns
+  (:mod:`repro.scenarios`).
 
 Quickstart
 ----------
@@ -66,6 +68,8 @@ from repro.stats.montecarlo import derive_seeds, monte_carlo
 from repro.exec.cache import ResultCache
 from repro.exec.digest import config_digest
 from repro.exec.runner import ParallelRunner
+from repro.distributed.spool import WorkSpool
+from repro.distributed.worker import SpoolWorker
 from repro.scenarios.campaign import Axis, AxisPoint, Campaign
 from repro.scenarios.presets import campaign_names, make_campaign
 from repro.scenarios.report import campaign_to_csv, render_campaign
@@ -126,6 +130,9 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "config_digest",
+    # distributed execution
+    "SpoolWorker",
+    "WorkSpool",
     # scenario campaigns
     "Axis",
     "AxisPoint",

@@ -13,23 +13,31 @@ from the shell::
     coopckpt trace --strategy least-waste --horizon-days 2
     coopckpt campaign --preset smoke --workers 4 --cache-dir ~/.cache/coopckpt
     coopckpt campaign --preset prospective-resilience --details --csv campaign.csv
+    coopckpt campaign --file my-sweep.toml --backend spool --spool ./spool --cache-dir ./cache
+    coopckpt worker --spool ./spool --cache-dir ./cache
+    coopckpt cache stats --cache-dir ./cache
+    coopckpt cache gc --cache-dir ./cache --older-than 30 --digest-version unversioned
 
 Every experiment prints a plain-text table mirroring the corresponding table
 or figure of the paper; the figure commands can additionally export CSV/JSON
 and render an ASCII chart of the series.  The experiment subcommands accept
-``--workers N`` to fan the Monte-Carlo repetitions out over worker processes
-and ``--cache-dir PATH`` to reuse previously simulated (config, strategy,
-seed) results from disk; both leave the numbers bit-identical to a serial,
+``--workers N`` to fan the Monte-Carlo repetitions out over worker processes,
+``--cache-dir PATH`` to reuse previously simulated (config, strategy, seed)
+results from disk, and ``--backend spool --spool DIR`` to distribute cells to
+``worker`` daemons (any number, on any machines sharing the two
+directories); all of it leaves the numbers bit-identical to a serial,
 uncached run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
-from repro.exec.runner import ParallelRunner
+from repro.errors import ConfigurationError, ReproError
+from repro.exec.runner import ParallelRunner, backend_names
 from repro.experiments.figure1 import Figure1Config, render_figure1, run_figure1
 from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
 from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
@@ -55,18 +63,54 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         "--cache-dir", metavar="PATH", default=None,
         help="on-disk result cache; re-runs only simulate unseen seeds",
     )
+    sub.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="execution backend (default: serial, or process when --workers > 1); "
+        "'spool' distributes cells to external `worker` daemons via --spool",
+    )
+    sub.add_argument(
+        "--spool", metavar="DIR", default=None,
+        help="work-spool directory shared with `worker` daemons (spool backend)",
+    )
+    sub.add_argument(
+        "--spool-timeout", type=float, default=None, metavar="S",
+        help="abort a spooled batch after S seconds without completion "
+        "(default: wait indefinitely)",
+    )
+    sub.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="S",
+        help="spool lease expiry before an abandoned task is reclaimed; each "
+        "claim is judged by the TTL its claiming worker recorded, so this "
+        "only governs claims with no metadata (spool backend, default 60)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace) -> ParallelRunner:
-    """Build the experiment runner selected by ``--workers``/``--cache-dir``."""
+    """Build (once) the runner selected by ``--backend``/``--workers``/``--cache-dir``.
+
+    The runner is remembered on ``args`` so :func:`main` can shut its
+    backend down (worker pools included) on success, failure and Ctrl-C
+    alike.
+    """
+    existing = getattr(args, "_runner", None)
+    if existing is not None:
+        return existing
     workers = getattr(args, "workers", 1)
     if workers <= 0:
-        raise SystemExit("--workers must be positive")
-    return ParallelRunner(
-        backend="process" if workers > 1 else "serial",
+        raise ConfigurationError("--workers must be positive")
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        backend = "process" if workers > 1 else "serial"
+    runner = ParallelRunner(
+        backend=backend,
         workers=workers,
         cache_dir=getattr(args, "cache_dir", None),
+        spool_dir=getattr(args, "spool", None),
+        spool_timeout_s=getattr(args, "spool_timeout", None),
+        spool_lease_ttl_s=getattr(args, "lease_ttl", 60.0),
     )
+    args._runner = runner
+    return runner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,9 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser(
         "campaign", help="run a scenario campaign (platform/failure/workload matrix)"
     )
-    campaign.add_argument(
-        "--preset", choices=sorted(CAMPAIGNS), default="smoke",
+    campaign_source = campaign.add_mutually_exclusive_group()
+    campaign_source.add_argument(
+        "--preset", choices=sorted(CAMPAIGNS), default=None,
         help="campaign preset to expand (default: smoke)",
+    )
+    campaign_source.add_argument(
+        "--file", metavar="PATH", default=None,
+        help="user-defined campaign matrix (TOML or JSON; see Campaign.from_file)",
     )
     campaign.add_argument(
         "--num-runs", type=int, default=None,
@@ -178,6 +227,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--csv", metavar="PATH", help="also write every cell as CSV")
     _add_runner_arguments(campaign)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a spool-draining worker daemon (distributed campaign execution)",
+    )
+    worker.add_argument(
+        "--spool", metavar="DIR", required=True,
+        help="work-spool directory shared with the submitter and other workers",
+    )
+    worker.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="shared result cache results are delivered through "
+        "(required unless --status)",
+    )
+    worker.add_argument(
+        "--worker-id", metavar="ID", default=None,
+        help="identity recorded in claims (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="S",
+        help="sleep between claim attempts when the spool is empty (default: 0.5)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="S",
+        help="lease expiry after which peers reclaim this worker's tasks "
+        "(default: 60; heartbeats run at a quarter of this)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after completing N tasks (default: unbounded)",
+    )
+    worker.add_argument(
+        "--drain", action="store_true",
+        help="exit once the spool is fully drained (no pending or claimed tasks)",
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="exit after S seconds without claiming any task",
+    )
+    worker.add_argument(
+        "--status", action="store_true",
+        help="print the spool's task counts and exit (no work is claimed)",
+    )
+    worker.add_argument("--quiet", action="store_true", help="suppress per-task log lines")
+
+    cache = sub.add_parser("cache", help="inspect and prune an on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, bytes and digest versions present"
+    )
+    cache_stats.add_argument("--cache-dir", metavar="PATH", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="prune entries by age and/or digest version"
+    )
+    cache_gc.add_argument("--cache-dir", metavar="PATH", required=True)
+    cache_gc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="remove entries not written/refreshed for this many days",
+    )
+    cache_gc.add_argument(
+        "--digest-version", metavar="V", default=None,
+        help="remove entries recorded under digest-format version V "
+        "('unversioned' matches pre-version entries)",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed, remove nothing"
+    )
 
     trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
     trace.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
@@ -332,6 +448,9 @@ def _cmd_ablation(args: argparse.Namespace) -> str:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.scenarios.campaign import Campaign
     from repro.scenarios.presets import make_campaign
     from repro.scenarios.report import campaign_to_csv, render_campaign, render_campaign_details
     from repro.scenarios.runner import CampaignRunner
@@ -339,13 +458,18 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     overrides: dict[str, object] = {}
     if args.num_runs is not None:
         if args.num_runs <= 0:
-            raise SystemExit("--num-runs must be positive")
+            raise ConfigurationError("--num-runs must be positive")
         overrides["num_runs"] = args.num_runs
     if args.horizon_days is not None:
         overrides["horizon_days"] = args.horizon_days
     if args.strategies is not None:
         overrides["strategies"] = tuple(args.strategies)
-    campaign = make_campaign(args.preset, **overrides)
+    if args.file is not None:
+        campaign = Campaign.from_file(args.file)
+        if overrides:  # CLI overrides beat the file's own settings
+            campaign = dataclasses.replace(campaign, base=campaign.base.apply(**overrides))
+    else:
+        campaign = make_campaign(args.preset or "smoke", **overrides)
 
     runner = CampaignRunner(runner=_runner_from_args(args))
     result = runner.run(campaign)
@@ -362,10 +486,11 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             parts.append(detail.summary())
     if args.cache_dir is not None and runner.runner.cache is not None:
         stats = runner.runner.stats
+        remote = f", {stats.remote_seeds} remote seed(s)" if stats.remote_seeds else ""
         parts.append("")
         parts.append(
-            f"cache: {stats.cache_hits} hit(s), {stats.tasks_run} simulation(s) "
-            f"this run ({runner.runner.cache.root})"
+            f"cache: {stats.cache_hits} hit(s), {stats.tasks_run} simulation(s)"
+            f"{remote} this run ({runner.runner.cache.root})"
         )
     if args.csv:
         from repro.experiments.export import write_text
@@ -374,6 +499,75 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         parts.append("")
         parts.append(f"wrote {path}")
     return "\n".join(parts)
+
+
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.distributed import SpoolWorker, WorkSpool
+    from repro.exec.cache import ResultCache
+
+    if args.status and not Path(args.spool).is_dir():
+        # --status must never create the spool: a typo'd path would report a
+        # perfectly healthy empty spool (and fool CI's drain assertion).
+        raise ConfigurationError(f"no spool at {args.spool}")
+    spool = WorkSpool(args.spool, lease_ttl_s=args.lease_ttl)
+    if args.status:
+        return f"spool {spool.root}: {spool.status().describe()}"
+    if args.cache_dir is None:
+        raise ConfigurationError("worker needs --cache-dir: the shared result cache")
+    if args.poll_interval <= 0:
+        raise ConfigurationError("--poll-interval must be positive")
+    worker = SpoolWorker(
+        spool,
+        ResultCache(args.cache_dir),
+        poll_interval_s=args.poll_interval,
+        max_tasks=args.max_tasks,
+        log=None if args.quiet else print,
+        **({"worker_id": args.worker_id} if args.worker_id else {}),
+    )
+    print(f"worker {worker.worker_id}: spool {spool.root}, cache {args.cache_dir}")
+    stats = worker.run(drain=args.drain, idle_timeout_s=args.idle_timeout)
+    return f"worker {worker.worker_id}: {stats.describe()}"
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.exec.cache import ResultCache
+    from repro.exec.digest import DIGEST_VERSION
+
+    if not Path(args.cache_dir).is_dir():
+        # Never create the cache here: a typo'd --cache-dir would otherwise
+        # report a perfectly healthy empty cache instead of the mistake.
+        raise ConfigurationError(f"no cache at {args.cache_dir}")
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        lines = [
+            f"cache {cache.root}",
+            f"  entries      : {stats.entries}",
+            f"  total bytes  : {stats.total_bytes}",
+            f"  digest now   : version {DIGEST_VERSION}",
+        ]
+        if stats.versions:
+            lines.append("  versions     :")
+            for version, count in stats.versions.items():
+                stale = "" if version == DIGEST_VERSION else "  (prunable: cache gc --digest-version)"
+                lines.append(f"    {version:<12}: {count} entr{'y' if count == 1 else 'ies'}{stale}")
+        return "\n".join(lines)
+    if args.older_than is not None and args.older_than < 0:
+        raise ConfigurationError("--older-than must be non-negative")
+    report = cache.gc(
+        older_than_s=args.older_than * 86400.0 if args.older_than is not None else None,
+        digest_version=args.digest_version,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    return (
+        f"cache {cache.root}: scanned {report.scanned} entr{'y' if report.scanned == 1 else 'ies'}, "
+        f"{verb} {report.removed} ({report.reclaimed_bytes} bytes)"
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
@@ -420,17 +614,45 @@ _COMMANDS = {
     "figure3": _cmd_figure3,
     "ablation": _cmd_ablation,
     "campaign": _cmd_campaign,
+    "worker": _cmd_worker,
+    "cache": _cmd_cache,
     "trace": _cmd_trace,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Failures exit non-zero with a one-line message on stderr (2 for library
+    errors, 130 for Ctrl-C), and any execution backend the command built —
+    worker pools included — is shut down on every path, so an aborted
+    campaign leaves no orphaned worker processes behind.  Interrupting a
+    run never corrupts an attached cache: entries are written atomically,
+    so everything completed before the interrupt stays valid for the next
+    (resuming) run.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = _COMMANDS[args.command](args)
-    print(output)
-    return 0
+    try:
+        output = _COMMANDS[args.command](args)
+        print(output)
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # The reader went away (e.g. `coopckpt campaign | head`); that is not
+        # an error.  Re-point stdout at devnull so interpreter shutdown does
+        # not raise a second time while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runner = getattr(args, "_runner", None)
+        if runner is not None:
+            runner.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,49 @@
+"""repro.distributed — broker-less distributed campaign execution.
+
+Campaign cells are content-addressed (``config_digest`` + strategy + seed),
+which makes distribution almost free: a *work spool* — a plain directory of
+JSON task specs — is the whole coordination layer.  No broker, no sockets,
+no database; any filesystem shared between machines (NFS, a bind mount, or
+just ``localhost``) is a cluster.
+
+* :class:`~repro.distributed.spool.WorkSpool` — the filesystem work queue.
+  Enqueue writes a spec to a temp file and atomically renames it into
+  ``tasks/``; claiming atomically renames ``tasks/<id>.json`` into
+  ``claims/`` (exactly one claimer wins); the claim file's mtime is the
+  worker's heartbeat, and claims whose lease expired are reclaimed back
+  into ``tasks/`` so crashed workers never strand work.
+* :class:`~repro.distributed.tasks.TaskSpec` — one spooled unit of work: a
+  picklable per-seed task plus the ``(digest, strategy, seeds)`` triple it
+  covers, content-addressed so re-submitting after an interruption is
+  idempotent.
+* :class:`~repro.distributed.worker.SpoolWorker` — the ``worker`` CLI
+  daemon's engine: claim -> simulate each seed into the shared
+  :class:`~repro.exec.cache.ResultCache` -> ack, with a background
+  heartbeat thread while a task is in flight.
+* :class:`~repro.distributed.submit.SpoolBackend` — the ``"spool"``
+  execution backend of :class:`~repro.exec.runner.ParallelRunner`: the
+  submitter enqueues only cache-miss seeds, then polls the cache until
+  workers deliver them; results are bit-identical to the serial backend
+  because the cache round-trip is ``repr``-exact.
+
+The result cache is the delivery channel, so the submitter is naturally
+resumable: interrupt a campaign, re-run it, and already-delivered seeds are
+cache hits while in-flight tasks keep their spool entries.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.spool import SpoolStatus, WorkSpool
+from repro.distributed.submit import SpoolBackend
+from repro.distributed.tasks import TaskSpec, make_task_specs
+from repro.distributed.worker import SpoolWorker, WorkerStats
+
+__all__ = [
+    "SpoolBackend",
+    "SpoolStatus",
+    "SpoolWorker",
+    "TaskSpec",
+    "WorkSpool",
+    "WorkerStats",
+    "make_task_specs",
+]

@@ -1,0 +1,311 @@
+"""The filesystem work spool: a broker-less, crash-tolerant task queue.
+
+Layout (all under one shared directory)::
+
+    <spool>/
+      tasks/<task_id>.json        # enqueued specs, ready to claim
+      claims/<task_id>.json       # claimed specs; file mtime = last heartbeat
+      claims/<task_id>.meta.json  # claim metadata (worker id, claim time)
+      done/<task_id>.json         # completion markers (spec + worker + stats)
+      failed/<task_id>.json       # failure records (spec + error traceback)
+
+Every transition is a single atomic :func:`os.rename` on the same
+filesystem, so the spool needs no locks and tolerates any number of
+concurrent submitters and workers:
+
+* **enqueue** writes the spec to a temporary file and renames it into
+  ``tasks/``; task ids are content-addressed, so double submission is a
+  no-op.
+* **claim** renames ``tasks/<id>.json`` into ``claims/``; rename fails for
+  every process but one, so exactly one worker wins each task.
+* **heartbeat** touches the claim file; a claim whose mtime is older than
+  the lease TTL its claimer recorded (in the metadata sidecar) belongs to a
+  crashed (or wedged) worker and *any* participant may **reclaim** it by
+  renaming it back into ``tasks/`` — again, exactly one reclaimer wins.
+* **ack** renames the claim into ``done/``; **fail** records the error in
+  ``failed/`` and drops the claim; **release** puts an interrupted worker's
+  claim back into ``tasks/`` untouched.
+
+The lease TTL must comfortably exceed the heartbeat interval (workers
+heartbeat from a background thread while simulating), not the task
+duration — long tasks stay leased as long as their worker is alive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SpoolError
+from repro.distributed.tasks import TaskSpec
+from repro.exec.cache import atomic_write_text
+
+__all__ = ["SpoolStatus", "WorkSpool"]
+
+#: Subdirectories of a spool, created on first use.
+_STATE_DIRS = ("tasks", "claims", "done", "failed")
+
+#: Suffix of claim-metadata sidecar files (excluded from spec globs).
+_META_SUFFIX = ".meta.json"
+
+
+@dataclass(frozen=True)
+class SpoolStatus:
+    """Counts of tasks per spool state."""
+
+    pending: int
+    claimed: int
+    done: int
+    failed: int
+
+    @property
+    def drained(self) -> bool:
+        """True when no task is waiting or in flight (done/failed may remain)."""
+        return self.pending == 0 and self.claimed == 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.pending} pending, {self.claimed} claimed, "
+            f"{self.done} done, {self.failed} failed"
+        )
+
+
+class WorkSpool:
+    """One shared spool directory; see the module docstring for semantics."""
+
+    def __init__(self, root: str | os.PathLike[str], *, lease_ttl_s: float = 60.0) -> None:
+        if lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive")
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(f"spool path {self.root} exists and is not a directory")
+        self.lease_ttl_s = float(lease_ttl_s)
+        for name in _STATE_DIRS:
+            (self.root / name).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ layout
+    def _path(self, state: str, task_id: str) -> Path:
+        return self.root / state / f"{task_id}.json"
+
+    def _meta_path(self, task_id: str) -> Path:
+        return self.root / "claims" / f"{task_id}{_META_SUFFIX}"
+
+    def _spec_files(self, state: str) -> list[Path]:
+        return sorted(
+            path
+            for path in (self.root / state).glob("*.json")
+            if not path.name.endswith(_META_SUFFIX)
+        )
+
+    # ------------------------------------------------------------ submitter side
+    def enqueue(self, spec: TaskSpec) -> bool:
+        """Spool one task; returns False when it is already pending or claimed.
+
+        A leftover ``done`` or ``failed`` marker for the same id is stale by
+        construction — submitters only enqueue work whose results are missing
+        from the cache — so it is cleared and the task queued again (this is
+        what makes retries after a failure and resumes after a cache wipe
+        plain re-submissions).
+        """
+        task_path = self._path("tasks", spec.task_id)
+        if task_path.exists() or self._path("claims", spec.task_id).exists():
+            return False
+        for stale_state in ("done", "failed"):
+            stale = self._path(stale_state, spec.task_id)
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+        atomic_write_text(task_path, spec.encode())
+        return True
+
+    # ------------------------------------------------------------ worker side
+    def claim(self, worker_id: str) -> TaskSpec | None:
+        """Atomically claim one pending task, oldest task-id first.
+
+        Expired claims are reclaimed first, so a single surviving worker
+        eventually drains a spool abandoned by crashed peers.  Corrupt spec
+        files are moved to ``failed/`` instead of wedging the queue.
+        """
+        self.reclaim_expired()
+        for path in self._spec_files("tasks"):
+            task_id = path.stem
+            claim_path = self._path("claims", task_id)
+            try:
+                os.rename(path, claim_path)
+            except FileNotFoundError:
+                continue  # another claimer won the rename; try the next task
+            try:
+                # The rename preserved the enqueue-time mtime; refresh it at
+                # once so a task that waited in the queue longer than the
+                # lease TTL doesn't look instantly expired.  A reclaim sweep
+                # can still steal the claim inside that window — losing it
+                # (FileNotFoundError below) is just a lost race, not an
+                # error, exactly like losing the rename.
+                now = time.time()
+                os.utime(claim_path, (now, now))
+                try:
+                    atomic_write_text(
+                        self._meta_path(task_id),
+                        json.dumps(
+                            {
+                                "worker": worker_id,
+                                "claimed_at": now,
+                                "lease_ttl_s": self.lease_ttl_s,
+                            }
+                        ),
+                    )
+                except OSError:
+                    pass  # metadata is advisory; the claim itself already holds
+                text = claim_path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                self._discard_meta(task_id)
+                continue  # a racing sweep reclaimed the stale-looking claim
+            try:
+                spec = TaskSpec.decode(text)
+            except SpoolError as exc:
+                self.fail(task_id, f"corrupt spec: {exc}", worker_id=worker_id)
+                continue
+            return spec
+        return None
+
+    def heartbeat(self, task_id: str) -> None:
+        """Refresh the lease of one claimed task (missing claims are ignored:
+        the task may have been reclaimed after a stall, and the reclaim wins)."""
+        try:
+            now = time.time()
+            os.utime(self._path("claims", task_id), (now, now))
+        except FileNotFoundError:
+            pass
+
+    def ack(self, task_id: str, *, worker_id: str = "") -> None:
+        """Mark one claimed task complete (its results are in the cache)."""
+        claim_path = self._path("claims", task_id)
+        done_path = self._path("done", task_id)
+        try:
+            os.rename(claim_path, done_path)
+        except FileNotFoundError as exc:
+            raise SpoolError(
+                f"cannot ack task {task_id!r}: no claim on file (lease expired "
+                "and the task was reclaimed?)"
+            ) from exc
+        self._discard_meta(task_id)
+        if worker_id:
+            try:
+                now = time.time()
+                payload = json.loads(done_path.read_text(encoding="utf-8"))
+                payload["completed_by"] = worker_id
+                payload["completed_at"] = now
+                atomic_write_text(done_path, json.dumps(payload))
+            except (OSError, json.JSONDecodeError):
+                pass  # the rename already recorded completion
+
+    def fail(self, task_id: str, error: str, *, worker_id: str = "") -> None:
+        """Record a task failure and drop its claim.
+
+        The original spec is preserved inside the failure record, so
+        ``failed/<id>.json`` is both the error report and enough to re-queue
+        the task by re-submitting.  A failure reported for a claim the
+        caller no longer holds (its lease expired mid-stall and a peer took
+        the task back) is dropped silently: writing a record then would
+        abort the submitter's batch while the peer's retry is live.
+        """
+        claim_path = self._path("claims", task_id)
+        try:
+            spec_text = claim_path.read_text(encoding="utf-8")
+        except OSError:
+            self._discard_meta(task_id)
+            return  # claim reclaimed by a peer; its retry owns the outcome now
+        record = {"task_id": task_id, "worker": worker_id, "error": error, "failed_at": time.time(), "spec": spec_text}
+        atomic_write_text(self._path("failed", task_id), json.dumps(record))
+        try:
+            claim_path.unlink()
+        except FileNotFoundError:
+            pass
+        self._discard_meta(task_id)
+
+    def release(self, task_id: str) -> None:
+        """Return one claimed task to the queue untouched (graceful shutdown)."""
+        try:
+            os.rename(self._path("claims", task_id), self._path("tasks", task_id))
+        except FileNotFoundError:
+            pass
+        self._discard_meta(task_id)
+
+    def _discard_meta(self, task_id: str) -> None:
+        try:
+            self._meta_path(task_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------ recovery
+    def reclaim_expired(self) -> list[str]:
+        """Move claims whose lease expired back into ``tasks/``.
+
+        Any participant (worker or submitter) may call this; the rename
+        races resolve to exactly one winner per task, so concurrent reclaim
+        sweeps are safe.  A claim is judged against the TTL its *claimer*
+        recorded in the metadata sidecar, so a submitter configured with a
+        shorter lease than the workers never steals live claims; this
+        spool's own TTL only applies to claims whose metadata is missing.
+        """
+        reclaimed: list[str] = []
+        now = time.time()
+        for claim_path in self._spec_files("claims"):
+            task_id = claim_path.stem
+            try:
+                if claim_path.stat().st_mtime > now - self._claim_ttl(task_id):
+                    continue
+            except FileNotFoundError:
+                continue
+            try:
+                os.rename(claim_path, self._path("tasks", task_id))
+            except FileNotFoundError:
+                continue  # someone else reclaimed (or the worker acked) first
+            self._discard_meta(task_id)
+            reclaimed.append(task_id)
+        return reclaimed
+
+    def _claim_ttl(self, task_id: str) -> float:
+        """The lease TTL the claimer recorded, falling back to this spool's."""
+        try:
+            ttl = json.loads(self._meta_path(task_id).read_text(encoding="utf-8"))["lease_ttl_s"]
+            return float(ttl)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return self.lease_ttl_s
+
+    # ------------------------------------------------------------ inspection
+    def is_done(self, task_id: str) -> bool:
+        """True when a completion marker exists for ``task_id``."""
+        return self._path("done", task_id).exists()
+
+    def has_failed(self, task_id: str) -> bool:
+        """True when a failure record exists for ``task_id``."""
+        return self._path("failed", task_id).exists()
+
+    def failure(self, task_id: str) -> str | None:
+        """The recorded error of one failed task, or ``None``."""
+        try:
+            record = json.loads(self._path("failed", task_id).read_text(encoding="utf-8"))
+            return str(record.get("error", "unknown error"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def failed_ids(self) -> list[str]:
+        """Ids of every task with a failure record, sorted."""
+        return [path.stem for path in self._spec_files("failed")]
+
+    def status(self) -> SpoolStatus:
+        """Task counts per state."""
+        return SpoolStatus(
+            pending=len(self._spec_files("tasks")),
+            claimed=len(self._spec_files("claims")),
+            done=len(self._spec_files("done")),
+            failed=len(self._spec_files("failed")),
+        )
+
+    def __repr__(self) -> str:
+        return f"WorkSpool(root={str(self.root)!r}, lease_ttl_s={self.lease_ttl_s}, {self.status().describe()})"

@@ -1,0 +1,151 @@
+"""The ``"spool"`` execution backend: submit to the spool, poll the cache.
+
+:class:`SpoolBackend` plugs distributed execution into
+:class:`~repro.exec.runner.ParallelRunner` (and therefore into
+``CampaignRunner`` and every experiment entry point) without those layers
+knowing anything about workers:
+
+1. the runner has already subtracted cache hits, so the batch's pending
+   seeds are exactly the cache misses; they are chunked into
+   content-addressed :class:`~repro.distributed.tasks.TaskSpec` documents
+   and enqueued (idempotently — a resumed submitter maps onto the same
+   spool files);
+2. the submitter then polls the shared result cache until every pending
+   seed has a value, reclaiming expired leases along the way so a crashed
+   worker's tasks return to the queue even when no other worker notices;
+3. failure records matching this batch's tasks abort the wait with the
+   remote traceback.
+
+Results travel exclusively through the cache, whose JSON float encoding is
+``repr``-exact — which is why the spool backend is bit-identical to the
+serial one, and why an interrupted campaign resumes for free: delivered
+seeds are cache hits, undelivered ones are re-enqueued under the same ids.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed.spool import WorkSpool
+from repro.distributed.tasks import make_task_specs
+from repro.errors import ConfigurationError, SpoolError
+from repro.exec.runner import ExecutionBackend, ParallelRunner, SeedBatch
+
+__all__ = ["SpoolBackend"]
+
+#: Probe every outstanding seed on one poll in this many; between sweeps the
+#: loop only stats the batch's few done-markers and probes freshly completed
+#: specs, keeping metadata traffic on shared filesystems proportional to the
+#: task count rather than the seed count.
+_FULL_SWEEP_EVERY = 10
+
+
+class SpoolBackend(ExecutionBackend):
+    """Submitter half of the distributed spool (see module docstring)."""
+
+    #: Workers write every value into the shared cache themselves; the
+    #: runner must not write the polled values back a second time.
+    persists_results = True
+
+    def __init__(self, runner: ParallelRunner) -> None:
+        super().__init__(runner)
+        if runner.spool_dir is None or runner.cache is None:
+            raise ConfigurationError(
+                "the spool backend needs spool_dir and a shared result cache"
+            )
+        self.spool = WorkSpool(runner.spool_dir, lease_ttl_s=runner.spool_lease_ttl_s)
+
+    def run(self, batch: SeedBatch) -> dict[int, float]:
+        if batch.cache_key is None:
+            raise ConfigurationError(
+                "the spool backend requires content-addressed tasks (a cache "
+                "key); use run_config(), or map_seeds(cache_key=...)"
+            )
+        runner = self.runner
+        cache = runner.cache
+        assert cache is not None  # validated by the runner and __init__
+        digest, strategy = batch.cache_key
+        specs = make_task_specs(
+            batch.task,
+            digest,
+            strategy,
+            [seed for _, seed in batch.pending],
+            label=batch.label,
+            chunk_size=runner.chunk_size,
+        )
+        for spec in specs:
+            self.spool.enqueue(spec)
+        spec_ids = {spec.task_id for spec in specs}
+        # Which result indices each spec covers (make_task_specs chunks the
+        # pending pairs in order), so completion markers tell the poll loop
+        # which few seeds to probe instead of hammering the whole cache.
+        pairs = list(batch.pending)
+        spec_indices: dict[str, list[int]] = {}
+        position = 0
+        for spec in specs:
+            spec_indices[spec.task_id] = [
+                index for index, _ in pairs[position : position + len(spec.seeds)]
+            ]
+            position += len(spec.seeds)
+
+        outstanding: dict[int, int] = {index: seed for index, seed in batch.pending}
+        computed: dict[int, float] = {}
+        done_specs: set[str] = set()
+        polls = 0
+        deadline = (
+            time.time() + runner.spool_timeout_s if runner.spool_timeout_s is not None else None
+        )
+        while outstanding:
+            # Workers write every seed to the cache *before* acking, so a
+            # done marker means the whole spec is deliverable.  A periodic
+            # full sweep still probes everything: it surfaces partial
+            # progress of long tasks and seeds delivered out-of-band (e.g.
+            # by another submitter chunking the same cells differently).
+            probe = set()
+            for task_id in spec_ids - done_specs:
+                if self.spool.is_done(task_id):
+                    done_specs.add(task_id)
+                    probe.update(i for i in spec_indices[task_id] if i in outstanding)
+            if polls % _FULL_SWEEP_EVERY == 0:
+                probe = set(outstanding)
+            polls += 1
+            delivered = 0
+            for index in probe:
+                value = cache.probe(digest, strategy, outstanding[index])
+                if value is not None:
+                    computed[index] = value
+                    del outstanding[index]
+                    delivered += 1
+            if delivered:
+                runner.stats.remote_seeds += delivered
+                runner._emit(
+                    batch.label, batch.cached + len(computed), batch.total, batch.cached
+                )
+            if not outstanding:
+                break
+            failed = sorted(
+                task_id
+                for task_id in spec_ids - done_specs
+                if self.spool.has_failed(task_id)
+            )
+            if failed:
+                details = "; ".join(
+                    f"{task_id}: {(self.spool.failure(task_id) or 'unknown error').strip().splitlines()[-1]}"
+                    for task_id in failed
+                )
+                raise SpoolError(
+                    f"{len(failed)} spooled task(s) of batch {batch.label!r} failed "
+                    f"on remote worker(s) — {details} (full tracebacks under "
+                    f"{self.spool.root / 'failed'})"
+                )
+            if deadline is not None and time.time() > deadline:
+                raise SpoolError(
+                    f"timed out after {runner.spool_timeout_s:g}s waiting for "
+                    f"{len(outstanding)} seed(s) of batch {batch.label!r}; are "
+                    f"workers running against --spool {self.spool.root}?"
+                )
+            # A crashed worker's lease must expire even when every healthy
+            # worker is busy elsewhere, so the submitter sweeps too.
+            self.spool.reclaim_expired()
+            time.sleep(runner.spool_poll_s)
+        return computed

@@ -1,0 +1,154 @@
+"""Spooled task specifications.
+
+A :class:`TaskSpec` is one unit of distributed work: a picklable per-seed
+task (usually a :class:`~repro.exec.runner.WasteRatioTask`) together with
+the ``(config digest, strategy)`` cache key and the concrete seeds to
+simulate.  Specs are *content-addressed*: the task id is a digest of the
+``(digest version, config digest, strategy, seeds)`` tuple, so re-submitting
+the same work after an interruption maps onto the same spool file instead of
+duplicating it, mirroring how the result cache deduplicates values.
+
+On disk a spec is a small JSON document.  The callable itself is pickled
+and base64-embedded — workers run the same code base, exactly like the
+``"process"`` backend's pool workers, so pickling is the established
+transport for tasks; everything needed for observability (digest, strategy,
+seeds, label) stays as plain JSON next to it.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SpoolError
+from repro.exec.digest import DIGEST_VERSION
+
+__all__ = ["SPOOL_FORMAT_VERSION", "TaskSpec", "make_task_specs", "task_id_for"]
+
+#: Version of the on-disk task-spec format; bump on incompatible changes so
+#: old spool entries are rejected loudly instead of misinterpreted.
+SPOOL_FORMAT_VERSION = "1"
+
+
+def task_id_for(digest: str, strategy: str, seeds: Sequence[int]) -> str:
+    """Content address of one task: stable across submitters and re-runs.
+
+    The id embeds a human-readable ``<digest prefix>-<strategy>`` head (handy
+    when inspecting a spool directory) followed by a hash that pins the exact
+    seed set and the digest-format version.
+    """
+    payload = json.dumps(
+        [DIGEST_VERSION, digest, strategy, [int(seed) for seed in seeds]],
+        separators=(",", ":"),
+    )
+    tail = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return f"{digest[:8]}-{strategy}-{tail}"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One spooled unit of work: simulate ``seeds`` with ``task``.
+
+    ``digest``/``strategy`` form the cache key the worker writes results
+    under; ``label`` is carried for progress/log lines only.
+    """
+
+    task: Callable[[int], float]
+    digest: str
+    strategy: str
+    seeds: tuple[int, ...]
+    label: str = ""
+    task_id: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        if not self.seeds:
+            raise SpoolError("a task spec needs at least one seed")
+        if not self.task_id:
+            object.__setattr__(
+                self, "task_id", task_id_for(self.digest, self.strategy, self.seeds)
+            )
+
+    # ------------------------------------------------------------ encoding
+    def encode(self) -> str:
+        """Serialise to the on-disk JSON document."""
+        return json.dumps(
+            {
+                "format": SPOOL_FORMAT_VERSION,
+                "task_id": self.task_id,
+                "digest": self.digest,
+                "strategy": self.strategy,
+                "seeds": list(self.seeds),
+                "label": self.label,
+                "task": base64.b64encode(pickle.dumps(self.task)).decode("ascii"),
+            },
+            indent=None,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def decode(cls, text: str) -> "TaskSpec":
+        """Parse an on-disk JSON document back into a spec.
+
+        Raises :class:`~repro.errors.SpoolError` on malformed documents or a
+        format-version mismatch (a spool shared between incompatible code
+        versions must fail loudly, not silently misinterpret work).
+        """
+        try:
+            payload = json.loads(text)
+            fmt = payload["format"]
+            if fmt != SPOOL_FORMAT_VERSION:
+                raise SpoolError(
+                    f"task spec format {fmt!r} does not match this code's "
+                    f"{SPOOL_FORMAT_VERSION!r}"
+                )
+            task = pickle.loads(base64.b64decode(payload["task"]))
+            return cls(
+                task=task,
+                digest=str(payload["digest"]),
+                strategy=str(payload["strategy"]),
+                seeds=tuple(int(seed) for seed in payload["seeds"]),
+                label=str(payload.get("label", "")),
+                task_id=str(payload["task_id"]),
+            )
+        except SpoolError:
+            raise
+        except Exception as exc:  # json/pickle/key errors: one failure mode
+            raise SpoolError(f"corrupt task spec: {exc}") from exc
+
+
+def make_task_specs(
+    task: Callable[[int], float],
+    digest: str,
+    strategy: str,
+    seeds: Sequence[int],
+    *,
+    label: str = "",
+    chunk_size: int | None = None,
+    target_chunks: int = 4,
+) -> list[TaskSpec]:
+    """Split one batch of seeds into content-addressed task specs.
+
+    ``chunk_size`` pins the seeds per spec; by default the batch is split
+    into about ``target_chunks`` specs so even a single campaign cell spreads
+    across a few workers.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(seeds) // target_chunks))
+    return [
+        TaskSpec(
+            task=task,
+            digest=digest,
+            strategy=strategy,
+            seeds=tuple(seeds[start : start + chunk_size]),
+            label=label,
+        )
+        for start in range(0, len(seeds), chunk_size)
+    ]

@@ -1,0 +1,191 @@
+"""The spool worker: claim -> simulate -> cache -> ack, forever.
+
+:class:`SpoolWorker` is the engine behind the ``coopckpt worker`` CLI
+daemon.  Each loop iteration claims one task spec from the shared
+:class:`~repro.distributed.spool.WorkSpool`, simulates its seeds, writes
+every value into the shared :class:`~repro.exec.cache.ResultCache` (the
+delivery channel the submitter polls) and acks the task.  While a task is
+in flight a background thread heartbeats its lease, so long simulations
+never look abandoned; if the worker dies anyway, the lease expires and a
+peer reclaims the task.
+
+Workers are fully independent: run any number of them against the same
+spool/cache pair, on one machine or many, start them before or after the
+submitter, kill and restart them freely.  Task failures are recorded in
+the spool (``failed/<id>.json``) and never crash the worker; Ctrl-C
+releases the in-flight task back to the queue before exiting.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.distributed.spool import WorkSpool
+from repro.distributed.tasks import TaskSpec
+from repro.errors import SpoolError
+from repro.exec.cache import ResultCache
+
+__all__ = ["SpoolWorker", "WorkerStats", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique enough to attribute claims in a shared spool."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerStats:
+    """Cumulative counters of one worker's lifetime."""
+
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    seeds_simulated: int = 0
+    polls: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.tasks_done} task(s) done, {self.seeds_simulated} seed(s) "
+            f"simulated, {self.tasks_failed} failure(s)"
+        )
+
+
+@dataclass
+class SpoolWorker:
+    """One resumable spool-draining worker.
+
+    Attributes
+    ----------
+    spool / cache:
+        The shared work spool and result cache (both typically on a shared
+        filesystem).
+    worker_id:
+        Identity recorded in claim metadata and completion markers.
+    poll_interval_s:
+        Sleep between claim attempts when the spool has no pending work.
+    max_tasks:
+        Stop after completing this many tasks (``None`` = unbounded);
+        useful for tests and for rolling worker restarts.
+    stop_event:
+        Optional external off-switch checked between tasks; lets an
+        embedding process (tests, a supervisor thread) stop the loop
+        without signals.
+    log:
+        Optional sink for one-line progress messages (e.g. ``print``).
+    """
+
+    spool: WorkSpool
+    cache: ResultCache
+    worker_id: str = field(default_factory=default_worker_id)
+    poll_interval_s: float = 0.5
+    max_tasks: int | None = None
+    stop_event: threading.Event | None = None
+    log: Callable[[str], None] | None = None
+    stats: WorkerStats = field(default_factory=WorkerStats)
+
+    # ------------------------------------------------------------ logging
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log(f"[{self.worker_id}] {message}")
+
+    def _stopped(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    # ------------------------------------------------------------ main loop
+    def run(self, *, drain: bool = False, idle_timeout_s: float | None = None) -> WorkerStats:
+        """Process tasks until stopped.
+
+        ``drain=True`` exits once the spool is fully drained (no pending or
+        claimed tasks) — the mode CI and tests use.  ``idle_timeout_s`` exits
+        after that long without claiming anything, whether or not peers still
+        hold claims.  With neither, the worker runs until ``stop_event`` (or
+        ``max_tasks``/Ctrl-C).
+        """
+        idle_since: float | None = None
+        while not self._stopped():
+            if self.max_tasks is not None and self.stats.tasks_done >= self.max_tasks:
+                break
+            spec = self.spool.claim(self.worker_id)
+            if spec is None:
+                self.stats.polls += 1
+                now = time.time()
+                if drain and self.spool.status().drained:
+                    break
+                if idle_timeout_s is not None:
+                    if idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= idle_timeout_s:
+                        break
+                time.sleep(self.poll_interval_s)
+                continue
+            idle_since = None
+            try:
+                self.process(spec)
+            except KeyboardInterrupt:
+                self.spool.release(spec.task_id)
+                self._say(f"interrupted; released task {spec.task_id}")
+                raise
+        self._say(f"exiting: {self.stats.describe()}")
+        return self.stats
+
+    # ------------------------------------------------------------ one task
+    def process(self, spec: TaskSpec) -> bool:
+        """Simulate one claimed task; returns True on success.
+
+        Every computed value is written to the cache *before* the ack, so a
+        crash after N seeds loses at most the claim (reclaimed by a peer
+        after lease expiry), never a result — and the reclaiming worker
+        finds the first N seeds already cached.
+        """
+        self._say(f"claimed {spec.task_id} ({spec.label or spec.strategy}, {len(spec.seeds)} seed(s))")
+        heartbeat_stop = threading.Event()
+        interval = max(0.05, self.spool.lease_ttl_s / 4.0)
+
+        def _beat() -> None:
+            while not heartbeat_stop.wait(interval):
+                self.spool.heartbeat(spec.task_id)
+
+        heartbeat = threading.Thread(target=_beat, name=f"heartbeat-{spec.task_id}", daemon=True)
+        heartbeat.start()
+        try:
+            for seed in spec.seeds:
+                if self.cache.probe(spec.digest, spec.strategy, seed) is not None:
+                    continue  # a previous (crashed) attempt already delivered it
+                value = float(spec.task(seed))
+                self.cache.put(spec.digest, spec.strategy, seed, value)
+                self.stats.seeds_simulated += 1
+        except MemoryError:
+            raise
+        except Exception as exc:
+            # Only regular task failures become failure records.  Worker
+            # *death* (KeyboardInterrupt, SystemExit from a signal handler,
+            # MemoryError — re-raised above, since it *is* an Exception)
+            # must propagate instead: the lease then expires and a peer
+            # retries the task, which is the documented crash story — a
+            # failure record would abort the whole batch.
+            self.stats.tasks_failed += 1
+            self.spool.fail(
+                spec.task_id,
+                "".join(traceback.format_exception(type(exc), exc, exc.__traceback__)),
+                worker_id=self.worker_id,
+            )
+            self._say(f"task {spec.task_id} failed: {exc!r}")
+            return False
+        finally:
+            heartbeat_stop.set()
+            heartbeat.join()
+        try:
+            self.spool.ack(spec.task_id, worker_id=self.worker_id)
+        except SpoolError:
+            # The lease expired mid-task and a peer reclaimed it.  Harmless:
+            # every value is already in the cache, so the peer's re-run will
+            # be all cache hits and its ack will stand.
+            self._say(f"task {spec.task_id} was reclaimed before ack (results cached)")
+        self.stats.tasks_done += 1
+        self._say(f"done {spec.task_id}")
+        return True

@@ -26,3 +26,8 @@ class SimulationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analytical computation (lower bound, waste model) cannot be performed."""
+
+
+class SpoolError(ReproError):
+    """A distributed work-spool operation failed (remote task error, timeout,
+    corrupt task spec)."""

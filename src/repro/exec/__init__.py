@@ -7,9 +7,12 @@ depends only on the base seed and ``i``, so repetitions are embarrassingly
 parallel; this package exploits that:
 
 * :class:`~repro.exec.runner.ParallelRunner` — dispatches per-seed tasks
-  either serially (default, bit-identical to the historical code path) or on
-  a :class:`concurrent.futures.ProcessPoolExecutor` with chunked seed
-  dispatch and per-batch progress callbacks.
+  through a registry of execution backends: serially (default, bit-identical
+  to the historical code path), on a
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked seed
+  dispatch, or across machines via the ``"spool"`` backend
+  (:mod:`repro.distributed`).  New backends plug in through
+  :func:`~repro.exec.runner.register_backend`.
 * :class:`~repro.exec.cache.ResultCache` — an on-disk cache keyed by
   ``(config digest, strategy, seed)`` so re-running a sweep with a larger
   ``num_runs`` only simulates the new seeds.
@@ -23,23 +26,33 @@ the figure and ablation modules, and the CLI via ``--workers`` /
 
 from __future__ import annotations
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import CacheStats, GcReport, ResultCache
 from repro.exec.digest import DIGEST_VERSION, config_digest
 from repro.exec.runner import (
     BACKENDS,
+    ExecutionBackend,
     ParallelRunner,
     ProgressEvent,
     RunnerStats,
+    SeedBatch,
     WasteRatioTask,
+    backend_names,
+    register_backend,
 )
 
 __all__ = [
     "BACKENDS",
+    "CacheStats",
     "DIGEST_VERSION",
+    "ExecutionBackend",
+    "GcReport",
     "ParallelRunner",
     "ProgressEvent",
     "ResultCache",
     "RunnerStats",
+    "SeedBatch",
     "WasteRatioTask",
+    "backend_names",
     "config_digest",
+    "register_backend",
 ]

@@ -28,11 +28,61 @@ import json
 import math
 import os
 import tempfile
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ResultCache"]
+__all__ = ["CacheStats", "GcReport", "ResultCache", "atomic_write_text"]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + :func:`os.replace`).
+
+    Safe under concurrent writers on the same filesystem: readers observe
+    either the old content or the new, never a torn write.  Shared by the
+    result cache and the distributed work spool, whose correctness both
+    rest on this property.
+    """
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate statistics of one on-disk cache directory.
+
+    ``versions`` maps each digest-format version found in the entries to its
+    entry count; entries written before versions were recorded (PR ≤ 2) show
+    up under ``"unversioned"``.
+    """
+
+    entries: int = 0
+    total_bytes: int = 0
+    versions: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    scanned: int = 0
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    dry_run: bool = False
 
 
 class ResultCache:
@@ -87,30 +137,123 @@ class ResultCache:
         self.hits += 1
         return value
 
+    # The submitter-facing probe API: availability checks that do not skew
+    # the hit/miss counters the runner reports for its own lookups.
+    def probe(self, digest: str, strategy: str, seed: int) -> float | None:
+        """Like :meth:`get`, but without touching the hit/miss counters.
+
+        Distributed submitters poll the cache while remote workers fill it;
+        counting every poll as a miss would make the runner's cache report
+        meaningless, so availability probes are counter-neutral.
+        """
+        hits, misses = self.hits, self.misses
+        value = self.get(digest, strategy, seed)
+        self.hits, self.misses = hits, misses
+        return value
+
     def put(self, digest: str, strategy: str, seed: int, value: float) -> None:
         """Store one value atomically (safe under concurrent writers)."""
+        from repro.exec.digest import DIGEST_VERSION
+
         path = self._entry_path(digest, strategy, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"digest": digest, "strategy": strategy, "seed": int(seed), "value": float(value)}
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                json.dump(entry, handle)
-            os.replace(handle.name, path)
-        except OSError:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        entry = {
+            "digest": digest,
+            "strategy": strategy,
+            "seed": int(seed),
+            "value": float(value),
+            "version": DIGEST_VERSION,
+        }
+        atomic_write_text(path, json.dumps(entry))
         self.writes += 1
+
+    # ------------------------------------------------------------ maintenance
+    def _entries(self) -> Iterator[Path]:
+        """Every entry file currently on disk (excluding in-flight temps)."""
+        return self.root.glob("*/*/*/*.json")
+
+    def stats(self) -> CacheStats:
+        """Walk the cache tree and aggregate entry count, bytes and versions."""
+        entries = 0
+        total_bytes = 0
+        versions: dict[str, int] = {}
+        for path in self._entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    version = str(json.load(handle).get("version", "unversioned"))
+            except (OSError, json.JSONDecodeError, AttributeError):
+                # Unparseable entries still occupy their measured bytes, so
+                # stats agrees with what `gc --digest-version corrupt` reclaims.
+                version = "corrupt"
+            entries += 1
+            total_bytes += size
+            versions[version] = versions.get(version, 0) + 1
+        return CacheStats(entries=entries, total_bytes=total_bytes, versions=dict(sorted(versions.items())))
+
+    def gc(
+        self,
+        *,
+        older_than_s: float | None = None,
+        digest_version: str | None = None,
+        dry_run: bool = False,
+    ) -> GcReport:
+        """Prune entries so long-lived cache directories don't grow unbounded.
+
+        ``older_than_s`` removes entries whose file modification time is more
+        than that many seconds in the past; ``digest_version`` removes entries
+        recorded under that digest-format version (``"unversioned"`` matches
+        pre-version entries, ``"corrupt"`` matches unparseable ones).  With
+        both criteria given an entry is removed when *either* matches; with
+        neither, nothing is removed.  Empty digest/strategy directories left
+        behind are cleaned up as well.
+        """
+        if older_than_s is None and digest_version is None:
+            return GcReport(scanned=sum(1 for _ in self._entries()), dry_run=dry_run)
+        now = time.time()
+        scanned = removed = reclaimed = 0
+        for path in self._entries():
+            scanned += 1
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            expired = older_than_s is not None and (now - stat.st_mtime) > older_than_s
+            version_match = False
+            if digest_version is not None:
+                try:
+                    with path.open("r", encoding="utf-8") as handle:
+                        version = str(json.load(handle).get("version", "unversioned"))
+                except (OSError, json.JSONDecodeError, AttributeError):
+                    version = "corrupt"
+                version_match = version == digest_version
+            if not (expired or version_match):
+                continue
+            removed += 1
+            reclaimed += stat.st_size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    removed -= 1
+                    reclaimed -= stat.st_size
+        if not dry_run and removed:
+            # Drop now-empty <strategy>/, <digest>/ and <shard>/ directories.
+            for depth in ("*/*/*", "*/*", "*"):
+                for directory in self.root.glob(depth):
+                    try:
+                        directory.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return GcReport(scanned=scanned, removed=removed, reclaimed_bytes=reclaimed, dry_run=dry_run)
 
     # ------------------------------------------------------------ reporting
     def __len__(self) -> int:
         """Number of entries currently on disk (walks the cache tree)."""
-        return sum(1 for _ in self.root.glob("*/*/*/*.json"))
+        return sum(1 for _ in self._entries())
 
     def __repr__(self) -> str:
         return (

@@ -15,8 +15,11 @@ order with names like ``"io=weak,mtbf=short"``, so re-running a campaign
 from __future__ import annotations
 
 import itertools
+import json
+import os
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.scenarios.spec import Scenario
@@ -146,6 +149,147 @@ class Campaign:
             )
             expanded.append(self.base.apply(str(label), **merged))
         return expanded
+
+    # ------------------------------------------------------------ user files
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object], *, source: str = "<mapping>") -> "Campaign":
+        """Build a campaign from a parsed TOML/JSON document.
+
+        Schema (TOML shown; JSON is the same shape)::
+
+            name = "my-sweep"
+            base = "smoke"              # preset whose base scenario to start from
+
+            [overrides]                 # optional Scenario.apply overrides
+            num_runs = 2
+            horizon_days = 0.5
+            strategies = ["ordered-daly", "least-waste"]
+
+            [[axes]]                    # compact single-key axis
+            name = "io"
+            key = "bandwidth_gbs"
+            values = [1.0, 4.0]
+            # labels = ["weak", "strong"]   # optional, defaults to the values
+
+            [[axes]]                    # general labelled-points axis
+            name = "mtbf"
+            [[axes.points]]
+            label = "short"
+            [axes.points.overrides]
+            node_mtbf_years = 0.0438
+
+        ``base`` names a campaign preset (its axes are dropped, only its base
+        scenario is inherited), which is how a plain data file gets a concrete
+        platform and workload; ``overrides`` accepts every
+        :meth:`Scenario.apply` key, including the platform shorthands.
+        Workload-rebuild callables are not expressible in data files — use
+        the Python API for axes that resize machine memory.
+        """
+        known = {"name", "base", "overrides", "axes"}
+        unknown = sorted(set(map(str, data)) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"{source}: unknown campaign key(s) {', '.join(map(repr, unknown))}; "
+                f"expected one of {', '.join(sorted(known))}"
+            )
+        name = data.get("name")
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(f"{source}: campaign file needs a non-empty string 'name'")
+        preset = data.get("base")
+        if not preset or not isinstance(preset, str):
+            raise ConfigurationError(
+                f"{source}: campaign file needs 'base': the name of a campaign "
+                "preset whose base scenario provides the platform and workload"
+            )
+        from repro.scenarios.presets import make_campaign  # lazy: presets imports us
+
+        base = make_campaign(preset).base
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, Mapping):
+            raise ConfigurationError(f"{source}: 'overrides' must be a table/object")
+        if overrides:
+            base = base.apply(**{str(key): value for key, value in overrides.items()})
+
+        axes: list[Axis] = []
+        axis_entries = data.get("axes", [])
+        if not isinstance(axis_entries, Sequence) or isinstance(axis_entries, (str, bytes)):
+            raise ConfigurationError(f"{source}: 'axes' must be an array of tables/objects")
+        for position, entry in enumerate(axis_entries):
+            axes.append(cls._axis_from_mapping(entry, source=f"{source}: axes[{position}]"))
+        return cls(name=name, base=base, axes=tuple(axes))
+
+    @staticmethod
+    def _axis_from_mapping(entry: object, *, source: str) -> Axis:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(f"{source}: each axis must be a table/object")
+        axis_name = entry.get("name")
+        if not axis_name or not isinstance(axis_name, str):
+            raise ConfigurationError(f"{source}: axis needs a non-empty string 'name'")
+        if "key" in entry:
+            values = entry.get("values")
+            if not isinstance(values, Sequence) or isinstance(values, (str, bytes)) or not values:
+                raise ConfigurationError(f"{source}: axis {axis_name!r} needs a non-empty 'values' array")
+            labels = entry.get("labels")
+            if labels is not None and (
+                not isinstance(labels, Sequence) or isinstance(labels, (str, bytes))
+            ):
+                raise ConfigurationError(f"{source}: axis {axis_name!r} 'labels' must be an array")
+            return Axis.from_values(
+                axis_name,
+                str(entry["key"]),
+                list(values),
+                labels=[str(label) for label in labels] if labels is not None else None,
+            )
+        points = entry.get("points")
+        if not isinstance(points, Sequence) or isinstance(points, (str, bytes)) or not points:
+            raise ConfigurationError(
+                f"{source}: axis {axis_name!r} needs either 'key'+'values' or a "
+                "non-empty 'points' array"
+            )
+        built: list[AxisPoint] = []
+        for index, point in enumerate(points):
+            if not isinstance(point, Mapping) or not point.get("label"):
+                raise ConfigurationError(
+                    f"{source}: axis {axis_name!r} point [{index}] needs a 'label'"
+                )
+            point_overrides = point.get("overrides", {})
+            if not isinstance(point_overrides, Mapping):
+                raise ConfigurationError(
+                    f"{source}: axis {axis_name!r} point {point['label']!r} "
+                    "'overrides' must be a table/object"
+                )
+            built.append(AxisPoint(label=str(point["label"]), overrides=dict(point_overrides)))
+        return Axis(name=axis_name, points=tuple(built))
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike[str]) -> "Campaign":
+        """Load a user-defined campaign matrix from a TOML or JSON file.
+
+        The format is chosen by suffix: ``.json`` parses as JSON, everything
+        else as TOML.  See :meth:`from_mapping` for the schema.
+        """
+        path = Path(path)
+        try:
+            if path.suffix.lower() == ".json":
+                data = json.loads(path.read_text(encoding="utf-8"))
+            else:
+                try:
+                    import tomllib
+                except ModuleNotFoundError as exc:  # pragma: no cover - py3.10
+                    raise ConfigurationError(
+                        f"TOML campaign files need Python 3.11+ (tomllib); "
+                        f"rewrite {path.name} as JSON to use it here"
+                    ) from exc
+                with path.open("rb") as handle:
+                    data = tomllib.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read campaign file {path}: {exc}") from exc
+        except (json.JSONDecodeError, ValueError) as exc:
+            # tomllib.TOMLDecodeError subclasses ValueError.
+            raise ConfigurationError(f"cannot parse campaign file {path}: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"campaign file {path} must contain a table/object at top level")
+        return cls.from_mapping(data, source=str(path))
 
     def describe(self) -> str:
         """Multi-line human-readable summary of the campaign."""

@@ -3,10 +3,14 @@
 :class:`CampaignRunner` walks a campaign's scenario matrix and evaluates
 every (scenario, strategy) cell through
 :meth:`repro.exec.runner.ParallelRunner.run_config`, so campaigns inherit
-the execution subsystem wholesale: the serial and process backends return
-bit-identical tables, and an attached :class:`~repro.exec.cache.ResultCache`
-means an immediate re-run (or a grown matrix) only simulates cells it has
-never seen.
+the execution subsystem wholesale: every registered backend (serial,
+process pool, distributed spool) returns bit-identical tables, and an
+attached :class:`~repro.exec.cache.ResultCache` means an immediate re-run
+(or a grown matrix) only simulates cells it has never seen.  That same
+cache property makes campaigns resumable: interrupt a run (Ctrl-C, a lost
+spool submitter) and re-running the campaign picks up where it left off —
+completed cells replay from the cache, and with the ``"spool"`` backend
+in-flight tasks keep their content-addressed spool entries.
 """
 
 from __future__ import annotations
@@ -95,6 +99,21 @@ class CampaignRunner:
     """
 
     runner: ParallelRunner = field(default_factory=ParallelRunner)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut the underlying execution backend down (worker pools included).
+
+        Idempotent; the context-manager form guarantees no orphaned worker
+        processes when a campaign raises or is interrupted mid-run.
+        """
+        self.runner.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def run(self, campaign: Campaign) -> CampaignResult:
         """Evaluate every (scenario, strategy) cell of ``campaign``."""

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
 import sys
+import threading
 from pathlib import Path
 
 import pytest
@@ -57,6 +59,49 @@ def tiny_classes() -> tuple[ApplicationClass, ApplicationClass]:
         workload_share=0.4,
     )
     return alpha, beta
+
+
+@pytest.fixture
+def spool_workers():
+    """Factory: run N :class:`SpoolWorker` threads against a spool/cache pair.
+
+    Threads exercise the identical claim/simulate/cache/ack code path that
+    separate worker processes run in production (the spool itself only sees
+    filesystem operations either way) while keeping tests fast and
+    deterministic.  Usage::
+
+        with spool_workers(spool_dir, cache_dir, count=2) as workers:
+            ...  # submit through a spool-backend runner
+    """
+
+    @contextlib.contextmanager
+    def run(spool_dir, cache_dir, *, count=1, lease_ttl_s=30.0, **worker_kwargs):
+        from repro.distributed import SpoolWorker, WorkSpool
+        from repro.exec import ResultCache
+
+        stop = threading.Event()
+        workers, threads = [], []
+        for index in range(count):
+            worker = SpoolWorker(
+                WorkSpool(spool_dir, lease_ttl_s=lease_ttl_s),
+                ResultCache(cache_dir),
+                worker_id=f"test-worker-{index}",
+                poll_interval_s=0.01,
+                stop_event=stop,
+                **worker_kwargs,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            workers.append(worker)
+            threads.append(thread)
+        try:
+            yield workers
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+
+    return run
 
 
 @pytest.fixture

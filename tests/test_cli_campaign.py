@@ -10,12 +10,15 @@ from repro.cli import build_parser, main
 def test_parser_knows_the_campaign_subcommand():
     args = build_parser().parse_args(["campaign"])
     assert args.command == "campaign"
-    assert args.preset == "smoke"
+    assert args.preset is None  # resolved to "smoke" at run time
+    assert args.backend is None  # resolved from --workers at run time
     args = build_parser().parse_args(
         ["campaign", "--preset", "prospective-resilience", "--workers", "3"]
     )
     assert args.preset == "prospective-resilience"
     assert args.workers == 3
+    with pytest.raises(SystemExit):  # --preset and --file are exclusive
+        build_parser().parse_args(["campaign", "--preset", "smoke", "--file", "x.toml"])
 
 
 def test_campaign_rejects_unknown_preset(capsys):
@@ -102,5 +105,5 @@ def test_campaign_workers_flag_matches_serial_output(capsys):
 
 
 def test_campaign_validates_num_runs():
-    with pytest.raises(SystemExit):
-        main(["campaign", "--preset", "smoke", "--num-runs", "0"])
+    # Misconfiguration follows the documented contract: exit 2, not 1.
+    assert main(["campaign", "--preset", "smoke", "--num-runs", "0"]) == 2

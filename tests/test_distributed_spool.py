@@ -1,0 +1,266 @@
+"""Unit tests of the filesystem work spool and the task-spec format.
+
+The spool's whole correctness argument rests on atomic renames: exactly one
+claimer wins a task, exactly one reclaimer wins an expired lease, and specs
+are content-addressed so re-submission is idempotent.  These tests pin each
+of those properties, including under deliberate concurrency.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.distributed import TaskSpec, WorkSpool, make_task_specs
+from repro.distributed.tasks import SPOOL_FORMAT_VERSION, task_id_for
+from repro.errors import ConfigurationError, SpoolError
+
+
+def _toy_task(seed: int) -> float:
+    """Module-level (hence picklable) deterministic toy task."""
+    return float(seed % 11) / 11.0
+
+
+def _spec(seeds=(1, 2, 3), strategy="least-waste", digest="a" * 64) -> TaskSpec:
+    return TaskSpec(task=_toy_task, digest=digest, strategy=strategy, seeds=seeds)
+
+
+# ------------------------------------------------------------ construction
+def test_spool_validates_parameters(tmp_path):
+    with pytest.raises(ConfigurationError):
+        WorkSpool(tmp_path, lease_ttl_s=0.0)
+    stray = tmp_path / "stray"
+    stray.write_text("not a directory")
+    with pytest.raises(ConfigurationError):
+        WorkSpool(stray)
+    spool = WorkSpool(tmp_path / "spool")
+    for state in ("tasks", "claims", "done", "failed"):
+        assert (tmp_path / "spool" / state).is_dir()
+    assert spool.status().drained
+
+
+# ------------------------------------------------------------ task specs
+def test_task_spec_round_trips_through_json(tmp_path):
+    spec = _spec()
+    decoded = TaskSpec.decode(spec.encode())
+    assert decoded.task_id == spec.task_id
+    assert decoded.digest == spec.digest
+    assert decoded.strategy == spec.strategy
+    assert decoded.seeds == spec.seeds
+    assert decoded.task(7) == _toy_task(7)  # the callable survives transport
+
+
+def test_task_spec_is_content_addressed():
+    assert _spec().task_id == _spec().task_id
+    assert _spec(seeds=(1, 2)).task_id != _spec(seeds=(1, 2, 3)).task_id
+    assert _spec(strategy="ordered-daly").task_id != _spec().task_id
+    assert _spec(digest="b" * 64).task_id != _spec().task_id
+    # ids are filename-safe and human-scannable: digest prefix + strategy.
+    assert _spec().task_id.startswith("aaaaaaaa-least-waste-")
+    assert task_id_for("a" * 64, "least-waste", [1, 2, 3]) == _spec().task_id
+
+
+def test_task_spec_rejects_garbage_and_version_mismatch():
+    with pytest.raises(SpoolError):
+        TaskSpec.decode("{not json")
+    with pytest.raises(SpoolError):
+        TaskSpec.decode('{"format": "0", "task_id": "x"}')
+    with pytest.raises(SpoolError):
+        TaskSpec.decode('{"format": "%s"}' % SPOOL_FORMAT_VERSION)  # missing fields
+    with pytest.raises(SpoolError):
+        TaskSpec(task=_toy_task, digest="a" * 64, strategy="s", seeds=())
+
+
+def test_make_task_specs_chunking():
+    specs = make_task_specs(_toy_task, "a" * 64, "least-waste", range(10), chunk_size=4)
+    assert [list(s.seeds) for s in specs] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+    # Default: about four chunks per batch so one cell spreads across workers.
+    assert len(make_task_specs(_toy_task, "a" * 64, "s" , range(10))) == 4
+    assert make_task_specs(_toy_task, "a" * 64, "s", []) == []
+
+
+# ------------------------------------------------------------ lifecycle
+def test_enqueue_claim_ack_lifecycle(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec()
+    assert spool.enqueue(spec) is True
+    assert spool.enqueue(spec) is False  # content-addressed: double submit is a no-op
+    assert spool.status().pending == 1
+
+    claimed = spool.claim("w1")
+    assert claimed is not None and claimed.task_id == spec.task_id
+    assert spool.status().claimed == 1 and spool.status().pending == 0
+    assert spool.enqueue(spec) is False  # claimed tasks can't be re-queued
+    assert spool.claim("w2") is None  # nothing left to claim
+
+    spool.ack(spec.task_id, worker_id="w1")
+    status = spool.status()
+    assert status.done == 1 and status.drained
+
+
+def test_ack_without_claim_raises(tmp_path):
+    spool = WorkSpool(tmp_path)
+    with pytest.raises(SpoolError):
+        spool.ack("no-such-task")
+
+
+def test_release_returns_task_to_queue(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec()
+    spool.enqueue(spec)
+    spool.claim("w1")
+    spool.release(spec.task_id)
+    assert spool.status().pending == 1 and spool.status().claimed == 0
+    assert spool.claim("w2").task_id == spec.task_id
+
+
+def test_fail_records_error_and_resubmission_retries(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec()
+    spool.enqueue(spec)
+    spool.claim("w1")
+    spool.fail(spec.task_id, "ValueError: boom", worker_id="w1")
+    assert spool.status().failed == 1
+    assert spool.failed_ids() == [spec.task_id]
+    assert "boom" in spool.failure(spec.task_id)
+    assert spool.failure("unknown-task") is None
+    # Re-submitting retries: the failure record is cleared.
+    assert spool.enqueue(spec) is True
+    assert spool.status().failed == 0 and spool.status().pending == 1
+
+
+def test_enqueue_clears_stale_done_marker(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec()
+    spool.enqueue(spec)
+    spool.claim("w1")
+    spool.ack(spec.task_id)
+    # The submitter only enqueues cache misses, so a done marker for work
+    # being re-submitted is stale (e.g. the cache was pruned) and must yield.
+    assert spool.enqueue(spec) is True
+    assert spool.status().pending == 1 and spool.status().done == 0
+
+
+def test_corrupt_spec_is_quarantined_not_wedging_the_queue(tmp_path):
+    spool = WorkSpool(tmp_path)
+    good = _spec()
+    (tmp_path / "tasks" / "00000000-bad-deadbeef.json").write_text("{corrupt")
+    spool.enqueue(good)
+    claimed = spool.claim("w1")  # skips the corrupt spec, claims the good one
+    assert claimed is not None and claimed.task_id == good.task_id
+    assert spool.status().failed == 1
+    assert "corrupt" in spool.failure("00000000-bad-deadbeef")
+
+
+# ------------------------------------------------------------ leases
+def test_expired_lease_is_reclaimed_exactly_once(tmp_path):
+    spool = WorkSpool(tmp_path, lease_ttl_s=0.05)
+    spec = _spec()
+    spool.enqueue(spec)
+    spool.claim("doomed")
+    assert spool.reclaim_expired() == []  # lease still fresh
+    past = time.time() - 60.0
+    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
+    assert spool.reclaim_expired() == [spec.task_id]
+    assert spool.reclaim_expired() == []  # second sweep finds nothing
+    assert spool.status().pending == 1
+    assert spool.claim("survivor").task_id == spec.task_id
+
+
+def test_sweeper_honours_the_claimers_recorded_lease_ttl(tmp_path):
+    """Expiry is judged by the TTL the *claimer* recorded, so a submitter
+    configured with a shorter lease than the workers never steals a live
+    claim whose heartbeat cadence is legitimate under the longer TTL."""
+    worker_spool = WorkSpool(tmp_path, lease_ttl_s=300.0)
+    spec = _spec()
+    worker_spool.enqueue(spec)
+    worker_spool.claim("long-lease-worker")
+    past = time.time() - 60.0  # stale under 0.05s, fresh under 300s
+    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
+    sweeper = WorkSpool(tmp_path, lease_ttl_s=0.05)
+    assert sweeper.reclaim_expired() == []
+    # Without claim metadata the sweep falls back to its own (short) TTL.
+    (tmp_path / "claims" / f"{spec.task_id}.meta.json").unlink()
+    assert sweeper.reclaim_expired() == [spec.task_id]
+
+
+def test_claim_refreshes_a_stale_queue_mtime(tmp_path):
+    """A task that waited in the queue longer than the lease TTL must not
+    look instantly expired once claimed (the rename preserves the old
+    enqueue mtime; claim() has to refresh it)."""
+    spool = WorkSpool(tmp_path, lease_ttl_s=0.05)
+    spec = _spec()
+    spool.enqueue(spec)
+    past = time.time() - 60.0
+    os.utime(tmp_path / "tasks" / f"{spec.task_id}.json", (past, past))
+    assert spool.claim("w1") is not None
+    assert spool.reclaim_expired() == []  # the fresh claim holds its lease
+
+
+def test_claim_survives_losing_the_post_rename_race(tmp_path, monkeypatch):
+    """If a reclaim sweep steals the claim back between the rename and the
+    mtime refresh, claim() must treat it as a lost race, not crash."""
+    import repro.distributed.spool as spool_module
+
+    spool = WorkSpool(tmp_path)
+    spec = _spec()
+    spool.enqueue(spec)
+
+    real_utime = os.utime
+
+    def stolen_utime(path, *args, **kwargs):
+        if str(path).endswith(f"{spec.task_id}.json") and "claims" in str(path):
+            # Simulate the racing sweep: the claim is already back in tasks/.
+            os.rename(path, tmp_path / "tasks" / f"{spec.task_id}.json")
+            raise FileNotFoundError(path)
+        return real_utime(path, *args, **kwargs)
+
+    monkeypatch.setattr(spool_module.os, "utime", stolen_utime)
+    assert spool.claim("w1") is None  # lost race, no exception
+    monkeypatch.undo()
+    assert spool.status().pending == 1  # the task is still queued
+    assert spool.claim("w2").task_id == spec.task_id
+
+
+def test_heartbeat_keeps_lease_alive(tmp_path):
+    spool = WorkSpool(tmp_path, lease_ttl_s=0.05)
+    spec = _spec()
+    spool.enqueue(spec)
+    spool.claim("w1")
+    past = time.time() - 60.0
+    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
+    spool.heartbeat(spec.task_id)  # refreshes the mtime before the sweep
+    assert spool.reclaim_expired() == []
+    spool.heartbeat("missing-task")  # reclaimed/acked tasks are ignored
+
+
+# ------------------------------------------------------------ concurrency
+def test_concurrent_claimers_partition_the_queue(tmp_path):
+    """N threads hammering claim() must partition tasks with no duplicates."""
+    spool_paths = [WorkSpool(tmp_path) for _ in range(4)]
+    specs = [_spec(seeds=(seed,)) for seed in range(40)]
+    for spec in specs:
+        assert spool_paths[0].enqueue(spec)
+
+    claimed: list[list[str]] = [[] for _ in spool_paths]
+
+    def drain(worker: int) -> None:
+        while True:
+            spec = spool_paths[worker].claim(f"w{worker}")
+            if spec is None:
+                return
+            claimed[worker].append(spec.task_id)
+
+    threads = [threading.Thread(target=drain, args=(i,)) for i in range(len(spool_paths))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    all_claimed = [task_id for per_worker in claimed for task_id in per_worker]
+    assert len(all_claimed) == len(specs)  # nothing lost
+    assert len(set(all_claimed)) == len(specs)  # nothing claimed twice
+    assert sorted(all_claimed) == sorted(spec.task_id for spec in specs)

@@ -1,0 +1,222 @@
+"""Worker-loop and crash-recovery tests of the distributed subsystem.
+
+The headline guarantee: a campaign executed through the spool backend is
+bit-identical to the serial backend *even when a worker dies mid-task* —
+the lease expires, a surviving worker reclaims the task, already-delivered
+seeds are skipped (cache probes), and the submitter never notices.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.distributed import SpoolWorker, WorkSpool, make_task_specs
+from repro.exec import ParallelRunner, ResultCache, WasteRatioTask, config_digest
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.runner import CampaignRunner
+from repro.scenarios.spec import Scenario
+from repro.stats.montecarlo import derive_seeds
+
+
+def _crash_scenario(tiny_platform, tiny_classes) -> Scenario:
+    return Scenario(
+        name="crashy",
+        platform=tiny_platform,
+        workload=tiny_classes,
+        strategies=("ordered-daly", "least-waste"),
+        num_runs=4,
+        horizon_days=0.25,
+        warmup_days=0.02,
+        cooldown_days=0.02,
+    )
+
+
+# ------------------------------------------------------------ worker loop
+def test_worker_drain_mode_processes_everything_and_exits(tmp_path, tiny_config):
+    spool = WorkSpool(tmp_path / "spool")
+    cache = ResultCache(tmp_path / "cache")
+    config = tiny_config(horizon_s=0.25 * 86400.0)
+    digest = config_digest(config)
+    seeds = derive_seeds(0, 3)
+    for spec in make_task_specs(WasteRatioTask(config), digest, config.strategy, seeds):
+        spool.enqueue(spec)
+
+    worker = SpoolWorker(spool, cache, worker_id="w1", poll_interval_s=0.01)
+    stats = worker.run(drain=True)
+    assert stats.tasks_done == 3  # default chunking: 3 seeds -> 3 specs
+    assert stats.seeds_simulated == 3
+    assert spool.status().drained and spool.status().done == 3
+    for seed in seeds:
+        assert cache.probe(digest, config.strategy, seed) is not None
+
+    # Drained spool: a second drain-mode worker exits without claiming.
+    assert SpoolWorker(spool, cache, poll_interval_s=0.01).run(drain=True).tasks_done == 0
+
+
+def test_worker_idle_timeout_and_max_tasks(tmp_path, tiny_config):
+    spool = WorkSpool(tmp_path / "spool")
+    cache = ResultCache(tmp_path / "cache")
+    start = time.time()
+    stats = SpoolWorker(spool, cache, poll_interval_s=0.01).run(idle_timeout_s=0.05)
+    assert stats.tasks_done == 0
+    assert time.time() - start < 10.0
+
+    config = tiny_config(horizon_s=0.25 * 86400.0)
+    for spec in make_task_specs(
+        WasteRatioTask(config), config_digest(config), config.strategy, derive_seeds(0, 3)
+    ):
+        spool.enqueue(spec)
+    capped = SpoolWorker(spool, cache, poll_interval_s=0.01, max_tasks=2)
+    assert capped.run(drain=True).tasks_done == 2
+    assert spool.status().pending == 1  # one task intentionally left
+
+
+def test_worker_records_failure_and_keeps_going(tmp_path, tiny_config):
+    spool = WorkSpool(tmp_path / "spool")
+    cache = ResultCache(tmp_path / "cache")
+    bad = make_task_specs(_always_raises, "b" * 64, "least-waste", [1], chunk_size=1)[0]
+    config = tiny_config(horizon_s=0.25 * 86400.0)
+    good = make_task_specs(
+        WasteRatioTask(config), config_digest(config), config.strategy, [7], chunk_size=1
+    )[0]
+    spool.enqueue(bad)
+    spool.enqueue(good)
+    stats = SpoolWorker(spool, cache, poll_interval_s=0.01).run(drain=True)
+    assert stats.tasks_failed == 1 and stats.tasks_done == 1
+    assert spool.failed_ids() == [bad.task_id]
+    assert "ValueError" in spool.failure(bad.task_id)  # full remote traceback
+
+
+def _always_raises(seed: int) -> float:
+    raise ValueError(f"no value for seed {seed}")
+
+
+def test_worker_death_is_not_recorded_as_a_task_failure(tmp_path):
+    """SystemExit (a supervisor stopping the worker) must propagate and leave
+    the claim to lease expiry — a failure record would abort the submitter's
+    whole batch instead of letting a peer retry."""
+    spool = WorkSpool(tmp_path / "spool", lease_ttl_s=0.05)
+    cache = ResultCache(tmp_path / "cache")
+    spec = make_task_specs(_exits_hard, "c" * 64, "least-waste", [1], chunk_size=1)[0]
+    spool.enqueue(spec)
+    worker = SpoolWorker(spool, cache, poll_interval_s=0.01)
+    with pytest.raises(SystemExit):
+        worker.run(drain=True)
+    status = spool.status()
+    assert status.failed == 0  # no failure record...
+    assert status.claimed == 1  # ...the claim is simply orphaned
+    time.sleep(0.06)
+    assert spool.reclaim_expired() == [spec.task_id]  # and peers reclaim it
+
+
+def _exits_hard(seed: int) -> float:
+    raise SystemExit(1)
+
+
+def test_worker_skips_seeds_a_previous_attempt_already_delivered(tmp_path, tiny_config):
+    """Reclaimed tasks re-simulate only the seeds the crashed worker lost."""
+    spool = WorkSpool(tmp_path / "spool")
+    cache = ResultCache(tmp_path / "cache")
+    config = tiny_config(horizon_s=0.25 * 86400.0)
+    digest = config_digest(config)
+    seeds = derive_seeds(0, 3)
+    spec = make_task_specs(
+        WasteRatioTask(config), digest, config.strategy, seeds, chunk_size=3
+    )[0]
+    # A previous attempt delivered the first two seeds before dying.
+    for seed in seeds[:2]:
+        cache.put(digest, config.strategy, seed, WasteRatioTask(config)(seed))
+    spool.enqueue(spec)
+    stats = SpoolWorker(spool, cache, poll_interval_s=0.01).run(drain=True)
+    assert stats.tasks_done == 1
+    assert stats.seeds_simulated == 1  # only the missing third seed
+
+
+# ------------------------------------------------------- crash recovery
+def test_crashed_worker_lease_expires_and_campaign_is_bit_identical(
+    tiny_platform, tiny_classes, tmp_path, spool_workers
+):
+    """The ISSUE acceptance scenario: kill a worker mid-task; a peer reclaims
+    after lease expiry and the final CampaignResult is bit-identical to the
+    serial backend."""
+    scenario = _crash_scenario(tiny_platform, tiny_classes)
+    campaign = Campaign(name="crash-campaign", base=scenario)
+    serial = CampaignRunner(runner=ParallelRunner()).run(campaign)
+
+    spool_dir, cache_dir = tmp_path / "spool", tmp_path / "cache"
+    spool = WorkSpool(spool_dir, lease_ttl_s=0.2)
+    cache = ResultCache(cache_dir)
+
+    # A doomed worker claims one task (the same content-addressed specs the
+    # submitter will enqueue), delivers a single seed, then "crashes": no
+    # ack, no further heartbeats.  Backdating the claim mtime stands in for
+    # waiting out the lease.
+    config = scenario.config(scenario.strategies[0])
+    digest = config_digest(config)
+    seeds = derive_seeds(scenario.base_seed, scenario.num_runs)
+    for spec in make_task_specs(WasteRatioTask(config), digest, config.strategy, seeds):
+        assert spool.enqueue(spec)
+    doomed = spool.claim("doomed-worker")
+    assert doomed is not None
+    cache.put(
+        doomed.digest,
+        doomed.strategy,
+        doomed.seeds[0],
+        WasteRatioTask(config)(doomed.seeds[0]),
+    )
+    past = time.time() - 60.0
+    os.utime(spool_dir / "claims" / f"{doomed.task_id}.json", (past, past))
+
+    runner = ParallelRunner(
+        backend="spool",
+        spool_dir=spool_dir,
+        cache_dir=cache_dir,
+        spool_poll_s=0.01,
+        spool_lease_ttl_s=0.2,
+        spool_timeout_s=300.0,
+    )
+    with spool_workers(spool_dir, cache_dir, count=2, lease_ttl_s=0.2) as workers:
+        spooled = CampaignRunner(runner=runner).run(campaign)
+
+    assert spooled == serial  # exact dataclass equality, every summary field
+    status = WorkSpool(spool_dir).status()
+    assert status.drained and status.failed == 0
+    # The doomed task really was re-claimed by a surviving worker.
+    assert sum(worker.stats.tasks_done for worker in workers) >= len(seeds)
+    # The submitter enqueued only cache misses: the one pre-delivered seed
+    # was served from the cache, not re-spooled.
+    assert runner.stats.cache_hits == 1
+    assert runner.stats.remote_seeds == len(seeds) * len(scenario.strategies) - 1
+
+
+def test_interrupted_campaign_resumes_where_it_left_off(
+    tiny_platform, tiny_classes, tmp_path, spool_workers
+):
+    """Re-running a partially completed campaign only pays for missing seeds."""
+    scenario = _crash_scenario(tiny_platform, tiny_classes)
+    campaign = Campaign(name="resume-campaign", base=scenario)
+    serial = CampaignRunner(runner=ParallelRunner()).run(campaign)
+
+    spool_dir, cache_dir = tmp_path / "spool", tmp_path / "cache"
+    # "Interrupted first run": one full strategy cell already in the cache.
+    warm = ParallelRunner(cache_dir=cache_dir)
+    warm.run_config(
+        scenario.config(scenario.strategies[0]),
+        derive_seeds(scenario.base_seed, scenario.num_runs),
+    )
+
+    runner = ParallelRunner(
+        backend="spool",
+        spool_dir=spool_dir,
+        cache_dir=cache_dir,
+        spool_poll_s=0.01,
+        spool_timeout_s=300.0,
+    )
+    with spool_workers(spool_dir, cache_dir, count=2):
+        resumed = CampaignRunner(runner=runner).run(campaign)
+    assert resumed == serial
+    assert runner.stats.cache_hits == scenario.num_runs  # first cell replayed
+    assert runner.stats.remote_seeds == scenario.num_runs  # second cell spooled

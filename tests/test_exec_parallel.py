@@ -52,9 +52,40 @@ def test_runner_validates_parameters(tmp_path):
         ParallelRunner(workers=0)
     with pytest.raises(ConfigurationError):
         ParallelRunner(chunk_size=0)
-    assert set(BACKENDS) == {"serial", "process"}
+    assert set(BACKENDS) == {"serial", "process", "spool"}
     runner = ParallelRunner(cache_dir=tmp_path / "cache")
     assert isinstance(runner.cache, ResultCache)
+    # The spool backend needs both a spool directory and a shared cache.
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(backend="spool", cache_dir=tmp_path / "cache")
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(backend="spool", spool_dir=tmp_path / "spool")
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(spool_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(spool_timeout_s=-5.0)
+
+
+def test_backend_registry_rejects_duplicates_and_accepts_new_backends():
+    from repro.exec import ExecutionBackend, backend_names, register_backend
+    from repro.exec.runner import _BACKEND_FACTORIES
+
+    with pytest.raises(ConfigurationError):
+        register_backend("serial", lambda runner: None)
+    with pytest.raises(ConfigurationError):
+        register_backend("", lambda runner: None)
+
+    class EchoBackend(ExecutionBackend):
+        def run(self, batch):
+            return {index: float(seed % 7) for index, seed in batch.pending}
+
+    register_backend("echo-test", EchoBackend)
+    try:
+        assert "echo-test" in backend_names()
+        runner = ParallelRunner(backend="echo-test")
+        assert runner.map_seeds(_experiment, [3, 14]) == [3.0 % 7, 14.0 % 7]
+    finally:
+        del _BACKEND_FACTORIES["echo-test"]
 
 
 # -------------------------------------------- serial / process equivalence
@@ -205,11 +236,76 @@ def test_runner_resimulates_and_rewrites_corrupt_entries(tiny_platform, tiny_cla
 def test_process_pool_is_reused_across_batches():
     with ParallelRunner(backend="process", workers=2) as runner:
         runner.map_seeds(_experiment, derive_seeds(0, 4))
-        first_pool = runner._pool
+        backend = runner._backend_impl
+        first_pool = backend._pool
         runner.map_seeds(_experiment, derive_seeds(1, 4))
-        assert first_pool is not None and runner._pool is first_pool
-    assert runner._pool is None  # context exit shuts the pool down
+        assert first_pool is not None and backend._pool is first_pool
+        assert runner._backend_impl is backend  # backend object reused too
+    assert runner._backend_impl is None  # context exit shuts the backend down
+    assert backend._pool is None
     runner.close()  # idempotent
+
+
+def test_cache_probe_is_counter_neutral(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a" * 64, "least-waste", 1, 0.5)
+    assert cache.probe("a" * 64, "least-waste", 1) == 0.5
+    assert cache.probe("a" * 64, "least-waste", 2) is None
+    assert cache.hits == 0 and cache.misses == 0  # probes left no trace
+    assert cache.get("a" * 64, "least-waste", 1) == 0.5
+    assert cache.hits == 1  # real lookups still count
+
+
+def test_cache_stats_reports_entries_bytes_and_versions(tmp_path):
+    from repro.exec import DIGEST_VERSION
+
+    cache = ResultCache(tmp_path)
+    assert cache.stats().entries == 0
+    cache.put("a" * 64, "least-waste", 1, 0.25)
+    cache.put("a" * 64, "least-waste", 2, 0.5)
+    # A pre-PR-3 entry: no "version" field recorded.
+    legacy = cache._entry_path("b" * 64, "ordered-daly", 3)
+    legacy.parent.mkdir(parents=True)
+    legacy.write_text('{"value": 0.75}')
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.total_bytes > 0
+    assert stats.versions == {DIGEST_VERSION: 2, "unversioned": 1}
+
+
+def test_cache_gc_prunes_by_version_and_age(tmp_path):
+    import os
+    import time
+
+    cache = ResultCache(tmp_path)
+    cache.put("a" * 64, "least-waste", 1, 0.25)
+    legacy = cache._entry_path("b" * 64, "ordered-daly", 3)
+    legacy.parent.mkdir(parents=True)
+    legacy.write_text('{"value": 0.75}')
+
+    # No criteria: a no-op scan.
+    report = cache.gc()
+    assert report.scanned == 2 and report.removed == 0
+
+    # Dry run: reports the legacy entry, removes nothing.
+    report = cache.gc(digest_version="unversioned", dry_run=True)
+    assert report.removed == 1 and report.dry_run
+    assert len(cache) == 2
+
+    report = cache.gc(digest_version="unversioned")
+    assert report.removed == 1 and report.reclaimed_bytes > 0
+    assert len(cache) == 1
+    assert not legacy.parent.exists()  # empty directories are cleaned up
+
+    # Age-based pruning: backdate the survivor, then gc with a 1h horizon.
+    survivor = cache._entry_path("a" * 64, "least-waste", 1)
+    past = time.time() - 7200.0
+    os.utime(survivor, (past, past))
+    assert cache.gc(older_than_s=3600.0).removed == 1
+    assert len(cache) == 0
+    # The cache still works after a full prune.
+    cache.put("a" * 64, "least-waste", 1, 0.25)
+    assert cache.get("a" * 64, "least-waste", 1) == 0.25
 
 
 def test_result_cache_round_trip_is_exact(tmp_path):
@@ -248,6 +344,64 @@ def test_progress_events_process_backend():
     assert events[-1].completed == 6
     assert sorted(e.completed for e in events)[-1] == 6
     assert all(e.label == "toy" for e in events)
+
+
+# ------------------------------------------------- spool-backend equivalence
+def test_run_config_spool_backend_is_bit_identical(tiny_config, tmp_path, spool_workers):
+    config = tiny_config(horizon_s=0.25 * 86400.0)
+    seeds = derive_seeds(0, 5)
+    serial = ParallelRunner().run_config(config, seeds)
+    runner = ParallelRunner(
+        backend="spool",
+        spool_dir=tmp_path / "spool",
+        cache_dir=tmp_path / "cache",
+        spool_poll_s=0.01,
+        spool_timeout_s=120.0,
+    )
+    with spool_workers(tmp_path / "spool", tmp_path / "cache", count=2):
+        spooled = runner.run_config(config, seeds)
+    assert spooled == serial  # exact float equality, element by element
+    assert runner.stats.tasks_run == 0  # the submitter simulated nothing
+    assert runner.stats.remote_seeds == 5
+
+    # A re-run against the now-warm cache never touches the spool.
+    rerun = ParallelRunner(
+        backend="spool",
+        spool_dir=tmp_path / "spool",
+        cache_dir=tmp_path / "cache",
+        spool_timeout_s=1.0,
+    )
+    assert rerun.run_config(config, seeds) == serial
+    assert rerun.stats.cache_hits == 5
+    assert rerun.stats.remote_seeds == 0
+
+
+def test_spool_backend_requires_content_addressed_tasks(tmp_path):
+    runner = ParallelRunner(
+        backend="spool", spool_dir=tmp_path / "spool", cache_dir=tmp_path / "cache"
+    )
+    with pytest.raises(ConfigurationError):
+        runner.map_seeds(_experiment, [1, 2])  # no cache_key -> no content address
+
+
+def test_spool_backend_propagates_remote_failure(tmp_path, spool_workers):
+    from repro.errors import SpoolError
+
+    runner = ParallelRunner(
+        backend="spool",
+        spool_dir=tmp_path / "spool",
+        cache_dir=tmp_path / "cache",
+        spool_poll_s=0.01,
+        spool_timeout_s=60.0,
+    )
+    with spool_workers(tmp_path / "spool", tmp_path / "cache"):
+        with pytest.raises(SpoolError, match="boom"):
+            runner.map_seeds(_explosive, [1, 2], cache_key=("a" * 64, "least-waste"))
+
+
+def _explosive(seed: int) -> float:
+    """Module-level (picklable) task that always fails on the worker."""
+    raise ValueError(f"boom on seed {seed}")
 
 
 # ------------------------------------------------------------ waste task

@@ -181,3 +181,97 @@ def test_mini_cielo_mirrors_apex_structure():
     assert [c.name for c in classes] == ["EAP", "LAP", "Silverton", "VPIC"]
     assert sum(c.workload_share for c in classes) == pytest.approx(1.0)
     assert all(c.nodes <= platform.num_nodes for c in classes)
+
+
+# ------------------------------------------------------------ user files
+def test_campaign_from_mapping_builds_matrix_from_preset_base():
+    campaign = Campaign.from_mapping(
+        {
+            "name": "mapped",
+            "base": "smoke",
+            "overrides": {"num_runs": 1, "strategies": ["least-waste"]},
+            "axes": [
+                {"name": "io", "key": "bandwidth_gbs", "values": [1.0, 4.0]},
+                {
+                    "name": "mtbf",
+                    "points": [
+                        {"label": "short", "overrides": {"node_mtbf_years": 0.05}},
+                        {"label": "long", "overrides": {"node_mtbf_years": 0.2}},
+                    ],
+                },
+            ],
+        }
+    )
+    assert campaign.name == "mapped"
+    assert campaign.base.num_runs == 1 and campaign.base.strategies == ("least-waste",)
+    assert campaign.shape == (2, 2)
+    names = [scenario.name for scenario in campaign.scenarios()]
+    assert names == ["io=1,mtbf=short", "io=1,mtbf=long", "io=4,mtbf=short", "io=4,mtbf=long"]
+
+
+def test_campaign_from_mapping_validates_schema():
+    with pytest.raises(ConfigurationError, match="name"):
+        Campaign.from_mapping({"base": "smoke"})
+    with pytest.raises(ConfigurationError, match="base"):
+        Campaign.from_mapping({"name": "x"})
+    with pytest.raises(ConfigurationError, match="unknown campaign"):
+        Campaign.from_mapping({"name": "x", "base": "no-such-preset"})
+    with pytest.raises(ConfigurationError, match="typo_key"):
+        Campaign.from_mapping({"name": "x", "base": "smoke", "typo_key": 1})
+    with pytest.raises(ConfigurationError, match="values"):
+        Campaign.from_mapping(
+            {"name": "x", "base": "smoke", "axes": [{"name": "io", "key": "bandwidth_gbs"}]}
+        )
+    with pytest.raises(ConfigurationError, match="label"):
+        Campaign.from_mapping(
+            {"name": "x", "base": "smoke", "axes": [{"name": "io", "points": [{}]}]}
+        )
+    with pytest.raises(ConfigurationError, match="'key'"):
+        Campaign.from_mapping({"name": "x", "base": "smoke", "axes": [{"name": "io"}]})
+
+
+def test_campaign_from_file_json_round_trip(tmp_path):
+    import json
+
+    path = tmp_path / "matrix.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "file-campaign",
+                "base": "smoke",
+                "overrides": {"num_runs": 2},
+                "axes": [{"name": "io", "key": "bandwidth_gbs", "values": [2.0]}],
+            }
+        )
+    )
+    campaign = Campaign.from_file(path)
+    assert campaign.name == "file-campaign"
+    assert campaign.base.num_runs == 2
+    assert campaign.size() == 1
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        Campaign.from_file(tmp_path / "missing.json")
+    bad = tmp_path / "broken.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="cannot parse"):
+        Campaign.from_file(bad)
+
+
+def test_campaign_from_file_toml(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "matrix.toml"
+    path.write_text(
+        'name = "toml-campaign"\n'
+        'base = "smoke"\n'
+        "[overrides]\n"
+        "num_runs = 1\n"
+        "bandwidth_gbs = 8.0\n"
+        "[[axes]]\n"
+        'name = "mtbf"\n'
+        'key = "node_mtbf_years"\n'
+        "values = [0.05, 0.2]\n"
+        'labels = ["short", "long"]\n'
+    )
+    campaign = Campaign.from_file(path)
+    assert campaign.name == "toml-campaign"
+    assert campaign.base.platform.io_bandwidth_bytes_per_s == pytest.approx(8.0 * GB)
+    assert [p.label for p in campaign.axes[0].points] == ["short", "long"]

@@ -217,3 +217,11 @@ def test_campaign_csv_quotes_scenario_names(matrix):
     for scenario in matrix.scenarios():
         winners = [row for row in data if row[1] == scenario.name and row[3] == "1"]
         assert len(winners) == 1
+
+
+def test_campaign_runner_context_manager_closes_the_backend(matrix):
+    with CampaignRunner(runner=ParallelRunner(backend="process", workers=2)) as runner:
+        runner.run(matrix)
+        assert runner.runner._backend_impl is not None
+    assert runner.runner._backend_impl is None  # pool shut down on exit
+    runner.close()  # idempotent
