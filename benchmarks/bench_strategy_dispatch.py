@@ -1,0 +1,59 @@
+"""Strategy-dispatch bench: spec parsing and construction overhead.
+
+The StrategySpec redesign puts a parse + registry lookup on the path every
+``make_strategy`` call takes (once per simulation run).  A simulation fires
+tens of thousands of events, so dispatch must stay far below per-run noise:
+
+* legacy-name dispatch (``make_strategy("least-waste")``) must stay within
+  a small constant factor of the seed implementation's dict lookup — the
+  bench asserts > 20k constructions/s, orders of magnitude above need;
+* parameterized-spec dispatch (parse + validation + canonicalisation) is
+  measured alongside for comparison, as is bare ``canonical_strategy``
+  (the normalisation every config construction performs).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_strategy_dispatch.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.iosched.registry import canonical_strategy, make_strategy
+
+#: Constructions per measured leg.
+ROUNDS = 2_000
+
+
+def _rate(func, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        func(*args, **kwargs)
+    return ROUNDS / (time.perf_counter() - start)
+
+
+def test_bench_strategy_dispatch():
+    """Legacy and parameterized dispatch both stay negligible per run."""
+    legacy = _rate(make_strategy, "least-waste")
+    parameterized = _rate(make_strategy, "ordered[policy=fixed,period_s=1800]")
+    normalise = _rate(canonical_strategy, "orderednb-daly")
+
+    print()
+    print(f"make_strategy('least-waste')                      : {legacy:,.0f}/s")
+    print(f"make_strategy('ordered[policy=fixed,period_s=1800]'): {parameterized:,.0f}/s")
+    print(f"canonical_strategy('orderednb-daly')              : {normalise:,.0f}/s")
+
+    # One simulation run costs O(100 ms); dispatch must be microseconds.
+    assert legacy > 20_000
+    assert parameterized > 10_000
+    assert normalise > 20_000
+
+
+def test_bench_dispatch_scales_with_param_count():
+    """Extra parameters add per-parameter cost, not pathological blowup."""
+    one = _rate(canonical_strategy, "least-waste[mtbf_bias=2]")
+    three = _rate(canonical_strategy, "least-waste[policy=fixed,period_s=900,mtbf_bias=2]")
+    print()
+    print(f"1 param: {one:,.0f}/s, 3 params: {three:,.0f}/s")
+    assert three > one / 10

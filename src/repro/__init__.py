@@ -55,7 +55,16 @@ from repro.platform.failures import FailureModel
 from repro.platform.spec import PlatformSpec
 from repro.apps.app_class import ApplicationClass
 from repro.apps.checkpoint_policy import CheckpointPolicy, DalyPolicy, FixedPolicy
-from repro.iosched.registry import STRATEGIES, make_strategy, strategy_names
+from repro.iosched.registry import (
+    STRATEGIES,
+    StrategySpec,
+    canonical_strategy,
+    make_strategy,
+    parse_strategy,
+    register_strategy,
+    strategy_kinds,
+    strategy_names,
+)
 from repro.workloads.apex import APEX_CLASSES, apex_workload
 from repro.workloads.cielo import cielo_platform
 from repro.workloads.prospective import prospective_platform, prospective_workload
@@ -105,7 +114,12 @@ __all__ = [
     "FixedPolicy",
     # strategies
     "STRATEGIES",
+    "StrategySpec",
+    "canonical_strategy",
     "make_strategy",
+    "parse_strategy",
+    "register_strategy",
+    "strategy_kinds",
     "strategy_names",
     # workloads
     "APEX_CLASSES",

@@ -4,8 +4,10 @@
 from the shell::
 
     coopckpt table1
+    coopckpt strategies [--json]
     coopckpt lower-bound --bandwidth-gbs 40
     coopckpt simulate --strategy least-waste --bandwidth-gbs 80 --horizon-days 4
+    coopckpt simulate --strategy "ordered[policy=fixed,period_s=1800]"
     coopckpt figure1 --num-runs 3 --horizon-days 6 [--chart] [--csv fig1.csv]
     coopckpt figure2 --num-runs 3 --workers 4 --cache-dir ~/.cache/coopckpt
     coopckpt figure3 --num-runs 2
@@ -43,7 +45,6 @@ from repro.experiments.figure2 import Figure2Config, render_figure2, run_figure2
 from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
 from repro.experiments.table1 import render_table1
 from repro.experiments.theory import theoretical_waste
-from repro.iosched.registry import STRATEGIES
 from repro.scenarios.presets import CAMPAIGNS
 from repro.simulation.simulator import run_simulation
 from repro.units import HOUR
@@ -51,6 +52,11 @@ from repro.workloads.apex import apex_workload
 from repro.workloads.cielo import cielo_platform
 
 __all__ = ["main", "build_parser"]
+
+_STRATEGY_HELP = (
+    "a strategy name or parameterized spec, e.g. least-waste or "
+    "'ordered[policy=fixed,period_s=1800]' (see `coopckpt strategies`)"
+)
 
 
 def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
@@ -126,12 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table 1 (APEX workload characteristics)")
 
+    strategies = sub.add_parser(
+        "strategies",
+        help="list registered strategy kinds, their parameters and the spec syntax",
+    )
+    strategies.add_argument(
+        "--json", action="store_true", help="machine-readable JSON instead of text"
+    )
+
     bound = sub.add_parser("lower-bound", help="print the theoretical lower bound (Theorem 1)")
     bound.add_argument("--bandwidth-gbs", type=float, default=160.0)
     bound.add_argument("--node-mtbf-years", type=float, default=2.0)
 
     sim = sub.add_parser("simulate", help="run one simulation and print its summary")
-    sim.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
+    sim.add_argument("--strategy", default="least-waste", metavar="SPEC", help=_STRATEGY_HELP)
     sim.add_argument("--bandwidth-gbs", type=float, default=80.0)
     sim.add_argument("--node-mtbf-years", type=float, default=2.0)
     sim.add_argument("--horizon-days", type=float, default=6.0)
@@ -188,8 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="interference degradation factors (interference study)",
     )
     ablation.add_argument(
-        "--strategy", choices=STRATEGIES, default=None,
-        help="strategy to ablate (defaults per study)",
+        "--strategy", default=None, metavar="SPEC",
+        help=f"strategy to ablate (defaults per study); {_STRATEGY_HELP}",
     )
     _add_runner_arguments(ablation)
 
@@ -214,8 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated segment length per repetition",
     )
     campaign.add_argument(
-        "--strategies", choices=STRATEGIES, nargs="+", default=None,
-        help="strategy subset to compare (default: the preset's own set)",
+        "--strategies", nargs="+", default=None, metavar="SPEC",
+        help=f"strategies to compare (default: the preset's own set); {_STRATEGY_HELP}",
     )
     campaign.add_argument(
         "--details", action="store_true",
@@ -296,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
-    trace.add_argument("--strategy", choices=STRATEGIES, default="least-waste")
+    trace.add_argument("--strategy", default="least-waste", metavar="SPEC", help=_STRATEGY_HELP)
     trace.add_argument("--bandwidth-gbs", type=float, default=80.0)
     trace.add_argument("--node-mtbf-years", type=float, default=2.0)
     trace.add_argument("--horizon-days", type=float, default=2.0)
@@ -308,6 +322,64 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_table1(_: argparse.Namespace) -> str:
     return render_table1()
+
+
+def _cmd_strategies(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.iosched.spec import kind_info, legacy_strategy_names, strategy_kinds
+
+    kinds = {name: kind_info(name) for name in strategy_kinds()}
+    if args.json:
+        payload = {
+            "syntax": "kind or kind[param=value,...]",
+            "kinds": {
+                name: {
+                    "description": info.description,
+                    "display": info.display,
+                    "params": [
+                        {
+                            "name": param.name,
+                            "type": param.type.__name__,
+                            "default": param.default,
+                            "choices": list(param.choices) if param.choices else None,
+                            "help": param.help,
+                        }
+                        for param in info.params
+                    ],
+                }
+                for name, info in kinds.items()
+            },
+            "legacy": list(legacy_strategy_names()),
+        }
+        return json.dumps(payload, indent=2)
+    lines = [
+        "Strategy specs: <kind> or <kind>[param=value,...], e.g. "
+        "ordered[policy=fixed,period_s=1800]",
+        "",
+    ]
+    for name, info in kinds.items():
+        lines.append(f"{name} — {info.description}" if info.description else name)
+        for param in info.params:
+            default = param.describe_default()
+            detail = f"default {default}"
+            if param.choices:
+                choices = ", ".join(map(str, param.choices))
+                detail += f", one of: {choices}"
+            lines.append(
+                f"  {param.name:<10} {param.type.__name__:<6} {detail:<28} {param.help}"
+            )
+        lines.append("")
+    lines.append(
+        "Legacy names (aliases, also the cache-key form of their combination):"
+    )
+    lines.append("  " + ", ".join(legacy_strategy_names()))
+    lines.append("")
+    lines.append(
+        "Third-party strategies: repro.iosched.register_strategy(kind, factory) — "
+        "see the README's 'Custom strategies' section."
+    )
+    return "\n".join(lines)
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> str:
@@ -607,6 +679,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
 _COMMANDS = {
     "table1": _cmd_table1,
+    "strategies": _cmd_strategies,
     "lower-bound": _cmd_lower_bound,
     "simulate": _cmd_simulate,
     "figure1": _cmd_figure1,

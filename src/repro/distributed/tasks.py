@@ -3,7 +3,11 @@
 A :class:`TaskSpec` is one unit of distributed work: a picklable per-seed
 task (usually a :class:`~repro.exec.runner.WasteRatioTask`) together with
 the ``(config digest, strategy)`` cache key and the concrete seeds to
-simulate.  Specs are *content-addressed*: the task id is a digest of the
+simulate.  ``strategy`` is the *canonical strategy-spec string* (see
+:mod:`repro.iosched.spec`) — parameterized and custom strategies cross the
+spool as plain JSON text, and a worker resolves them through its own
+strategy registry (custom kinds must be registered in the worker process
+too, i.e. the registering module imported).  Specs are *content-addressed*: the task id is a digest of the
 ``(digest version, config digest, strategy, seeds)`` tuple, so re-submitting
 the same work after an interruption maps onto the same spool file instead of
 duplicating it, mirroring how the result cache deduplicates values.

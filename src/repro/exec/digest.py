@@ -12,6 +12,13 @@ Floats are serialised with :func:`repr`-exact JSON encoding, so two configs
 hash equal iff they would produce bit-identical simulations.  The digest
 embeds a format version; bump :data:`DIGEST_VERSION` whenever the simulator
 changes behaviour in a way that invalidates cached values.
+
+The ``strategy`` field enters the payload as its canonical spec string
+(:func:`repro.iosched.spec.canonical_strategy`, applied by
+``SimulationConfig``): the paper's seven legacy names stay bare strings —
+keeping every pre-spec digest byte-identical without a version bump — while
+non-default strategy parameters (``ordered[policy=fixed,period_s=1800]``)
+become part of the key automatically.
 """
 
 from __future__ import annotations

@@ -422,7 +422,9 @@ class ParallelRunner:
 
         This is the cache-aware entry point used by the experiment harness:
         the cache key is derived from the configuration's content digest and
-        strategy, so identical cells across sweeps share cached values.
+        its canonical strategy-spec string (``config.strategy`` is already
+        normalised), so identical cells across sweeps — including two
+        spellings of the same parameterized strategy — share cached values.
         """
         return self.map_seeds(
             WasteRatioTask(config),

@@ -20,7 +20,7 @@ from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
 from repro.exec.runner import ParallelRunner
 from repro.experiments.theory import theoretical_waste
-from repro.iosched.registry import STRATEGIES
+from repro.iosched.registry import STRATEGIES, StrategySpec, canonical_strategy
 from repro.platform.spec import PlatformSpec
 from repro.simulation.config import SimulationConfig
 from repro.stats.montecarlo import derive_seeds
@@ -52,7 +52,7 @@ class ExperimentCell:
 
     platform: PlatformSpec
     workload: tuple[ApplicationClass, ...]
-    strategy: str
+    strategy: str | StrategySpec
     horizon_days: float = 6.0
     warmup_days: float = 1.0
     cooldown_days: float = 1.0
@@ -62,8 +62,7 @@ class ExperimentCell:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload", tuple(self.workload))
-        if self.strategy not in STRATEGIES:
-            raise ConfigurationError(f"unknown strategy {self.strategy!r}")
+        object.__setattr__(self, "strategy", canonical_strategy(self.strategy))
         if self.num_runs <= 0:
             raise ConfigurationError("num_runs must be positive")
         if self.horizon_days <= 0.0:
@@ -161,11 +160,18 @@ def run_sweep(
     """
     if not parameter_values:
         raise ConfigurationError("parameter_values must not be empty")
+    normalized = [canonical_strategy(s) for s in strategies]
+    if len(set(normalized)) != len(normalized):
+        raise ConfigurationError(
+            "sweep evaluates the same strategy twice (after normalisation): "
+            + ", ".join(normalized)
+        )
     result = SweepResult(
         parameter_name=parameter_name,
         parameter_values=[float(v) for v in parameter_values],
-        strategies=list(strategies),
+        strategies=normalized,
     )
+    strategies = result.strategies
     for strategy in strategies:
         result.waste[strategy] = []
     for value in parameter_values:

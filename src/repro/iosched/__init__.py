@@ -13,9 +13,13 @@ Four strategies decide when the file system serves each I/O request:
   cooperative heuristic: the token goes to the request that minimizes the
   expected waste inflicted on all other waiting requests (Eq. (1)/(2)).
 
-Each of the first three strategies exists in a ``fixed`` and a ``daly``
-checkpoint-period variant; Least-Waste always uses Daly periods.  Strategy
-instances are created by name through :mod:`repro.iosched.registry`.
+Strategies are selected by *spec* — a kind plus typed parameters with a
+canonical string form such as ``"ordered[policy=fixed,period_s=1800]"``
+(see :mod:`repro.iosched.spec`); the paper's seven names (each family in a
+``fixed`` and a ``daly`` period variant, Least-Waste with Daly periods)
+remain valid aliases.  Strategy instances are created through
+:mod:`repro.iosched.registry`, and third-party strategies plug in with
+:func:`register_strategy`.
 """
 
 from repro.iosched.base import IORequest, IOScheduler, TokenScheduler
@@ -23,7 +27,19 @@ from repro.iosched.oblivious import ObliviousScheduler
 from repro.iosched.ordered import OrderedScheduler
 from repro.iosched.ordered_nb import OrderedNBScheduler
 from repro.iosched.least_waste import LeastWasteScheduler
-from repro.iosched.registry import STRATEGIES, Strategy, make_strategy, strategy_names
+from repro.iosched.registry import (
+    STRATEGIES,
+    ParamSpec,
+    Strategy,
+    StrategySpec,
+    canonical_strategy,
+    make_strategy,
+    parse_strategy,
+    register_strategy,
+    resolved_strategy_spec,
+    strategy_kinds,
+    strategy_names,
+)
 
 __all__ = [
     "IORequest",
@@ -33,8 +49,15 @@ __all__ = [
     "OrderedScheduler",
     "OrderedNBScheduler",
     "LeastWasteScheduler",
+    "ParamSpec",
     "Strategy",
+    "StrategySpec",
     "STRATEGIES",
+    "canonical_strategy",
     "make_strategy",
+    "parse_strategy",
+    "register_strategy",
+    "resolved_strategy_spec",
+    "strategy_kinds",
     "strategy_names",
 ]

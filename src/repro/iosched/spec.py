@@ -1,0 +1,419 @@
+"""Parameterized strategy specifications and the open strategy registry.
+
+A *strategy spec* is a :class:`StrategySpec`: a strategy ``kind`` (the
+scheduler family, e.g. ``"ordered"``) plus typed parameters declared by the
+kind's registration (e.g. the checkpoint-period policy and a fixed period in
+seconds).  Specs have a canonical, round-trippable string form::
+
+    ordered                               # all defaults (Young/Daly periods)
+    ordered[policy=fixed]                 # fixed periods, length from the run
+    ordered[policy=fixed,period_s=1800]   # explicit 30-minute fixed period
+    least-waste[mtbf_bias=2]              # tuned Least-Waste risk model
+
+Parsing is whitespace- and case-insensitive; formatting emits parameters in
+their declared order with default values omitted.  The seven legacy names of
+the paper (``ordered-fixed``, ``least-waste``, ...) remain valid aliases,
+and — crucially for the on-disk result cache — a spec that collapses onto a
+legacy combination formats back to the bare legacy string, so legacy cache
+keys and digests are byte-identical to what they always were.
+
+New strategy kinds plug in through :func:`register_strategy`, mirroring the
+execution-backend registry (``repro.exec.runner.register_backend``): a
+factory taking a resolved spec (plus the run's ``fixed_period_s`` fallback)
+and returning a ``repro.iosched.registry.Strategy``.  The contract is
+recorded in ROADMAP.md next to the backend contract.
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ParamSpec",
+    "StrategyKindInfo",
+    "StrategySpec",
+    "canonical_strategy",
+    "format_param_value",
+    "kind_info",
+    "legacy_strategy_names",
+    "parse_strategy",
+    "register_strategy",
+    "strategy_kinds",
+]
+
+
+def format_param_value(value: object) -> str:
+    """Canonical string form of one parameter value.
+
+    Floats use shortest-exact ``repr`` (so values round-trip bit-exactly)
+    with a trailing ``.0`` dropped — ``1800.0`` formats as ``1800`` and
+    parses back to the same float.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = repr(value)
+        return text[:-2] if text.endswith(".0") else text
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Declaration of one strategy parameter.
+
+    Attributes
+    ----------
+    name:
+        Parameter key (lowercase) as written in spec strings.
+    type:
+        Value type: ``float``, ``int``, ``str`` or ``bool``.  String values
+        are normalised to lowercase so canonical forms are deterministic.
+    default:
+        Value assumed when the parameter is omitted; a parameter given at
+        its default is dropped from the canonical form.  ``None`` marks a
+        parameter with no inherent default (e.g. ``period_s``, which falls
+        back to the run's ``fixed_period_s``) — such values always stay
+        explicit.
+    choices:
+        Optional closed set of accepted values.
+    positive:
+        Require numeric values to be strictly positive.
+    help:
+        One-line description shown by ``coopckpt strategies``.
+    """
+
+    name: str
+    type: type = float
+    default: object | None = None
+    choices: tuple[object, ...] | None = None
+    positive: bool = False
+    help: str = ""
+
+    def coerce(self, value: object, *, context: str) -> object:
+        """Validate and convert one raw value (string or Python) to the
+        declared type, raising :class:`ConfigurationError` on mismatch."""
+        try:
+            if self.type is bool:
+                if isinstance(value, bool):
+                    coerced: object = value
+                elif isinstance(value, str) and value.strip().lower() in ("true", "false"):
+                    coerced = value.strip().lower() == "true"
+                else:
+                    raise ValueError(value)
+            elif self.type is float:
+                if isinstance(value, bool):
+                    raise ValueError(value)
+                coerced = float(value)  # type: ignore[arg-type]
+                # Non-finite values would poison cache keys (and NaN breaks
+                # spec equality), so they are never valid parameters.
+                if not math.isfinite(coerced):
+                    raise ValueError(value)
+            elif self.type is int:
+                if isinstance(value, bool):
+                    raise ValueError(value)
+                if isinstance(value, float) and not value.is_integer():
+                    raise ValueError(value)
+                coerced = int(value)  # type: ignore[arg-type]
+            else:
+                coerced = str(value).strip().lower()
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{context}: parameter {self.name!r} expects a "
+                f"{self.type.__name__}, got {value!r}"
+            ) from None
+        if self.choices is not None and coerced not in self.choices:
+            raise ConfigurationError(
+                f"{context}: parameter {self.name!r} must be one of "
+                f"{', '.join(map(format_param_value, self.choices))}, got {value!r}"
+            )
+        if self.positive and isinstance(coerced, (int, float)) and coerced <= 0:
+            raise ConfigurationError(
+                f"{context}: parameter {self.name!r} must be positive, got {value!r}"
+            )
+        return coerced
+
+    def describe_default(self) -> str:
+        """Human-readable default for listings."""
+        return "-" if self.default is None else format_param_value(self.default)
+
+
+@dataclass(frozen=True)
+class StrategyKindInfo:
+    """One registered strategy kind: factory, parameter declarations, docs."""
+
+    kind: str
+    factory: Callable[..., object]
+    params: tuple[ParamSpec, ...] = ()
+    description: str = ""
+    display: str = ""
+    #: Optional cross-parameter validation hook, called with the normalised
+    #: spec after per-parameter checks (e.g. "period_s needs policy=fixed").
+    validate: Callable[["StrategySpec"], None] | None = None
+
+    def param(self, name: str) -> ParamSpec | None:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        return None
+
+
+#: Registry of strategy kinds: kind -> registration info.  The built-in
+#: families are registered by :mod:`repro.iosched.registry` at import time.
+_KINDS: dict[str, StrategyKindInfo] = {}
+
+#: The paper's seven strategy names, each an alias for (kind, params); the
+#: canonical form of a spec matching one of these combinations is the bare
+#: legacy name, which keeps historical cache keys and digests byte-identical.
+_LEGACY_ALIASES: dict[str, tuple[str, tuple[tuple[str, object], ...]]] = {
+    "oblivious-fixed": ("oblivious", (("policy", "fixed"),)),
+    "oblivious-daly": ("oblivious", ()),
+    "ordered-fixed": ("ordered", (("policy", "fixed"),)),
+    "ordered-daly": ("ordered", ()),
+    "orderednb-fixed": ("orderednb", (("policy", "fixed"),)),
+    "orderednb-daly": ("orderednb", ()),
+    "least-waste": ("least-waste", ()),
+}
+
+_LEGACY_BY_SPEC: dict[tuple[str, tuple[tuple[str, object], ...]], str] = {
+    target: name for name, target in _LEGACY_ALIASES.items()
+}
+
+
+def legacy_strategy_names() -> tuple[str, ...]:
+    """The seven legacy strategy names, in the paper's order."""
+    return tuple(_LEGACY_ALIASES)
+
+
+def _registered_kinds() -> dict[str, StrategyKindInfo]:
+    """The kind registry, with the built-in families guaranteed present."""
+    # Importing the registry module registers the built-ins; after the first
+    # time this is a dict lookup in sys.modules.
+    import repro.iosched.registry  # noqa: F401
+
+    return _KINDS
+
+
+def strategy_kinds() -> tuple[str, ...]:
+    """Names of every registered strategy kind, registration order."""
+    return tuple(_registered_kinds())
+
+
+def _unknown_strategy_error(name: str) -> ConfigurationError:
+    valid = [*_registered_kinds(), *(a for a in _LEGACY_ALIASES if a not in _KINDS)]
+    message = f"unknown strategy {name!r}; expected one of {', '.join(valid)}"
+    close = difflib.get_close_matches(name.strip().lower(), valid, n=1, cutoff=0.6)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return ConfigurationError(message)
+
+
+def kind_info(kind: str) -> StrategyKindInfo:
+    """Registration info of one strategy kind (did-you-mean on unknowns)."""
+    info = _registered_kinds().get(kind.strip().lower())
+    if info is None:
+        raise _unknown_strategy_error(kind)
+    return info
+
+
+def register_strategy(
+    kind: str,
+    factory: Callable[..., object],
+    *,
+    params: Sequence[ParamSpec] = (),
+    description: str = "",
+    display: str = "",
+    validate: Callable[["StrategySpec"], None] | None = None,
+    replace_existing: bool = False,
+) -> None:
+    """Register a strategy kind under ``kind``.
+
+    ``factory`` receives the parsed :class:`StrategySpec` and the run's
+    ``fixed_period_s`` fallback as a keyword argument, and returns a
+    ``repro.iosched.registry.Strategy`` (see the strategy-registry contract
+    in ROADMAP.md).  ``params`` declares the accepted parameters in the
+    order the canonical form lists them.  Registering an existing kind (or
+    shadowing a legacy alias) requires ``replace_existing=True`` so typos
+    don't silently replace built-ins.
+    """
+    key = str(kind).strip().lower()
+    if not key:
+        raise ConfigurationError("strategy kind must be non-empty")
+    if any(ch in key for ch in "[],= \t") :
+        raise ConfigurationError(
+            f"strategy kind {key!r} may not contain brackets, commas, '=' or whitespace"
+        )
+    if not replace_existing and (key in _KINDS or key in _LEGACY_ALIASES):
+        raise ConfigurationError(
+            f"strategy {key!r} is already registered; pass replace_existing=True to override"
+        )
+    declared = [param.name for param in params]
+    if len(set(declared)) != len(declared):
+        raise ConfigurationError(f"strategy {key!r} declares duplicate parameter names")
+    _KINDS[key] = StrategyKindInfo(
+        kind=key,
+        factory=factory,
+        params=tuple(params),
+        description=description,
+        display=display or key,
+        validate=validate,
+    )
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A strategy kind plus typed parameters, normalised on construction.
+
+    ``params`` may be given as a mapping or as ``(name, value)`` pairs;
+    values are validated against the kind's declarations, parameters at
+    their default value are dropped, and the remainder is ordered by
+    declaration, so two specs compare (and hash) equal iff they select the
+    same strategy.  The canonical string form is :attr:`canonical`.
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        info = kind_info(self.kind)
+        raw = self.params
+        if isinstance(raw, Mapping):
+            raw = tuple(raw.items())
+        object.__setattr__(self, "kind", info.kind)
+        object.__setattr__(self, "params", self._normalize(info, tuple(raw)))
+        if info.validate is not None:
+            info.validate(self)
+
+    @staticmethod
+    def _normalize(
+        info: StrategyKindInfo, raw: tuple[tuple[str, object], ...]
+    ) -> tuple[tuple[str, object], ...]:
+        context = f"strategy {info.kind!r}"
+        values: dict[str, object] = {}
+        for key, value in raw:
+            name = str(key).strip().lower()
+            param = info.param(name)
+            if param is None:
+                declared = ", ".join(p.name for p in info.params) or "(none)"
+                message = (
+                    f"{context} has no parameter {name!r}; declared parameters: {declared}"
+                )
+                close = difflib.get_close_matches(
+                    name, [p.name for p in info.params], n=1, cutoff=0.6
+                )
+                if close:
+                    message += f" (did you mean {close[0]!r}?)"
+                raise ConfigurationError(message)
+            if name in values:
+                raise ConfigurationError(f"{context}: duplicate parameter {name!r}")
+            values[name] = param.coerce(value, context=context)
+        return tuple(
+            (param.name, values[param.name])
+            for param in info.params
+            if param.name in values and values[param.name] != param.default
+        )
+
+    # ------------------------------------------------------------ access
+    def get(self, name: str, default: object | None = None) -> object | None:
+        """Value of parameter ``name``, or the kind's declared default, or
+        ``default`` when neither exists."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        param = kind_info(self.kind).param(name)
+        if param is not None and param.default is not None:
+            return param.default
+        return default
+
+    @property
+    def canonical(self) -> str:
+        """Canonical, round-trippable string form (the cache-key form).
+
+        Specs matching one of the paper's seven strategies collapse to the
+        bare legacy name, preserving historical cache keys.
+        """
+        legacy = _LEGACY_BY_SPEC.get((self.kind, self.params))
+        if legacy is not None:
+            return legacy
+        if not self.params:
+            return self.kind
+        body = ",".join(f"{key}={format_param_value(value)}" for key, value in self.params)
+        return f"{self.kind}[{body}]"
+
+    def __str__(self) -> str:
+        return self.canonical
+
+    def with_params(self, **params: object) -> "StrategySpec":
+        """Copy of this spec with additional/overriding parameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return StrategySpec(self.kind, tuple(merged.items()))
+
+    # ------------------------------------------------------------ parsing
+    @classmethod
+    def parse(cls, text: str) -> "StrategySpec":
+        """Parse ``"kind"`` or ``"kind[key=value,...]"`` (or a legacy name).
+
+        Whitespace around tokens and letter case are ignored; parameter
+        values may not contain ``[ ] , =``.
+        """
+        if not isinstance(text, str):
+            raise ConfigurationError(
+                f"strategy must be a string or StrategySpec, got "
+                f"{type(text).__name__}; valid names include "
+                f"{', '.join(_LEGACY_ALIASES)}"
+            )
+        stripped = text.strip()
+        key = stripped.lower()
+        if key in _LEGACY_ALIASES:
+            kind, params = _LEGACY_ALIASES[key]
+            return cls(kind, params)
+        if "[" not in stripped:
+            if "]" in stripped:
+                raise ConfigurationError(f"malformed strategy spec {text!r}: stray ']'")
+            if not key:
+                raise ConfigurationError("strategy name must be non-empty")
+            return cls(key, ())
+        head, _, rest = stripped.partition("[")
+        if not rest.endswith("]") or "]" in rest[:-1] or "[" in rest:
+            raise ConfigurationError(
+                f"malformed strategy spec {text!r}: expected kind[key=value,...]"
+            )
+        kind = head.strip().lower()
+        if not kind:
+            raise ConfigurationError(f"malformed strategy spec {text!r}: missing kind")
+        body = rest[:-1].strip()
+        params: list[tuple[str, object]] = []
+        if body:
+            for item in body.split(","):
+                name, sep, value = item.partition("=")
+                name, value = name.strip(), value.strip()
+                if not sep or not name or not value:
+                    raise ConfigurationError(
+                        f"malformed strategy spec {text!r}: parameter {item.strip()!r} "
+                        "must look like key=value"
+                    )
+                params.append((name, value))
+        return cls(kind, tuple(params))
+
+
+def parse_strategy(value: "str | StrategySpec") -> StrategySpec:
+    """Coerce a strategy given as a name, spec string or :class:`StrategySpec`."""
+    if isinstance(value, StrategySpec):
+        return value
+    return StrategySpec.parse(value)
+
+
+def canonical_strategy(value: "str | StrategySpec") -> str:
+    """Canonical string form of a strategy (the cache-key/digest form).
+
+    This is the single validator every layer routes strategy input through:
+    :class:`~repro.simulation.config.SimulationConfig`, scenarios, the
+    experiment harness and the CLI all share its error messages (including
+    the did-you-mean suggestion on near-miss names).
+    """
+    return parse_strategy(value).canonical

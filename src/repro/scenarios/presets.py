@@ -248,12 +248,51 @@ def prospective_resilience_campaign(
     )
 
 
+def period_sweep_campaign(
+    *,
+    num_runs: int = 2,
+    horizon_days: float = 0.5,
+    strategies: Sequence[str] = ("ordered-daly",),
+    periods_hours: Sequence[float] = (0.5, 1.0, 2.0),
+    strategy_kind: str = "ordered",
+) -> Campaign:
+    """Checkpoint-period sweep on the miniature Cielo.
+
+    Exercises the parameterized strategy specs end-to-end: one axis point
+    per fixed period (``ordered[policy=fixed,period_s=...]``) plus the
+    ``strategies`` reference point (Young/Daly by default), asking where the
+    production "checkpoint every N hours" heuristic lands relative to the
+    per-class optimum.  Each parameterized spec is its own cache key, so the
+    sweep composes with every execution backend and the result cache.
+    """
+    base = Scenario(
+        name="mini-cielo",
+        platform=mini_cielo_platform(),
+        workload=tuple(mini_apex_workload()),
+        strategies=tuple(strategies),
+        num_runs=num_runs,
+        horizon_days=horizon_days,
+        warmup_days=horizon_days / 8.0,
+        cooldown_days=horizon_days / 8.0,
+    )
+    points = [AxisPoint("reference", {"strategies": tuple(strategies)})]
+    for hours in periods_hours:
+        spec = f"{strategy_kind}[policy=fixed,period_s={hours * HOUR:g}]"
+        points.append(AxisPoint(f"{hours:g}h", {"strategies": (spec,)}))
+    return Campaign(
+        name="period-sweep",
+        base=base,
+        axes=(Axis(name="period", points=tuple(points)),),
+    )
+
+
 #: Preset registry: name -> campaign factory.
 CAMPAIGNS: dict[str, Callable[..., Campaign]] = {
     "smoke": smoke_campaign,
     "cielo-reference": cielo_reference_campaign,
     "prospective-bandwidth": prospective_bandwidth_campaign,
     "prospective-resilience": prospective_resilience_campaign,
+    "period-sweep": period_sweep_campaign,
 }
 
 

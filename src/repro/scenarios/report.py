@@ -13,6 +13,7 @@ from __future__ import annotations
 import csv
 import io
 
+from repro.iosched.registry import resolved_strategy_spec
 from repro.scenarios.runner import CampaignResult
 
 __all__ = ["campaign_to_csv", "render_campaign", "render_campaign_details"]
@@ -74,12 +75,16 @@ def campaign_to_csv(result: CampaignResult) -> str:
 
     Scenario names embed commas (``io=weak,mtbf=short``), so fields are
     quoted by the :mod:`csv` writer; floats use ``repr`` (shortest-exact),
-    making the export a faithful round-trip of the summaries.
+    making the export a faithful round-trip of the summaries.  The ``spec``
+    column spells out the cell's fully resolved strategy spec (policy and
+    effective fixed period included), so two cells sharing a strategy name
+    but running different parameters — e.g. ``ordered-fixed`` under two
+    scenario ``fixed_period_s`` values — stay distinguishable in exports.
     """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     stat_keys = ["n", "mean", "std", "min", "d1", "q1", "median", "q3", "d9", "max"]
-    writer.writerow(["campaign", "scenario", "strategy", "best", *stat_keys])
+    writer.writerow(["campaign", "scenario", "strategy", "spec", "best", *stat_keys])
     for outcome in result.outcomes:
         best = outcome.best_strategy()
         for strategy in result.strategies:
@@ -91,6 +96,9 @@ def campaign_to_csv(result: CampaignResult) -> str:
                     result.campaign,
                     outcome.scenario.name,
                     strategy,
+                    resolved_strategy_spec(
+                        strategy, fixed_period_s=outcome.scenario.fixed_period_s
+                    ),
                     "1" if strategy == best else "0",
                     *[repr(stats[key]) for key in stat_keys],
                 ]

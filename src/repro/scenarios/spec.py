@@ -21,7 +21,7 @@ from dataclasses import dataclass, fields, replace
 
 from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
-from repro.iosched.registry import STRATEGIES
+from repro.iosched.registry import STRATEGIES, StrategySpec, canonical_strategy
 from repro.platform.failures import FailureModel
 from repro.platform.spec import PlatformSpec
 from repro.simulation.config import SimulationConfig
@@ -47,9 +47,11 @@ class Scenario:
     workload:
         Application classes of the workload mix.
     strategies:
-        Strategy names to evaluate on this scenario (each strategy shares
-        the scenario's seeds, so strategies see identical initial
-        conditions).
+        Strategies to evaluate on this scenario: legacy names, parameterized
+        spec strings (``"ordered[policy=fixed,period_s=1800]"``) or
+        :class:`~repro.iosched.spec.StrategySpec` objects, normalised to
+        canonical strings on construction.  Each strategy shares the
+        scenario's seeds, so strategies see identical initial conditions.
     failure_model:
         Failure inter-arrival distribution (exponential by default).
     num_runs / base_seed:
@@ -62,7 +64,7 @@ class Scenario:
     name: str
     platform: PlatformSpec
     workload: tuple[ApplicationClass, ...]
-    strategies: tuple[str, ...] = STRATEGIES
+    strategies: tuple[str | StrategySpec, ...] = STRATEGIES
     failure_model: FailureModel = FailureModel()
     num_runs: int = 3
     base_seed: int | None = 0
@@ -80,20 +82,25 @@ class Scenario:
             raise ConfigurationError(f"scenario {self.name!r} has an empty workload")
         if not self.strategies:
             raise ConfigurationError(f"scenario {self.name!r} selects no strategies")
-        for strategy in self.strategies:
-            if strategy not in STRATEGIES:
-                raise ConfigurationError(
-                    f"scenario {self.name!r}: unknown strategy {strategy!r}; "
-                    f"expected one of {', '.join(STRATEGIES)}"
-                )
+        try:
+            normalized = tuple(canonical_strategy(s) for s in self.strategies)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"scenario {self.name!r}: {exc}") from exc
+        if len(set(normalized)) != len(normalized):
+            raise ConfigurationError(
+                f"scenario {self.name!r} selects the same strategy twice "
+                f"(after normalisation): {', '.join(normalized)}"
+            )
+        object.__setattr__(self, "strategies", normalized)
         if self.num_runs <= 0:
             raise ConfigurationError(f"scenario {self.name!r}: num_runs must be positive")
         if self.horizon_days <= 0.0:
             raise ConfigurationError(f"scenario {self.name!r}: horizon_days must be positive")
 
     # ------------------------------------------------------------ configs
-    def config(self, strategy: str) -> SimulationConfig:
+    def config(self, strategy: str | StrategySpec) -> SimulationConfig:
         """Simulation configuration of one strategy on this scenario."""
+        strategy = canonical_strategy(strategy)
         if strategy not in self.strategies:
             raise ConfigurationError(
                 f"scenario {self.name!r} does not evaluate strategy {strategy!r}"

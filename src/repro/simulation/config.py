@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 
 from repro.apps.app_class import ApplicationClass
 from repro.errors import ConfigurationError
-from repro.iosched.registry import STRATEGIES
+from repro.iosched.registry import StrategySpec, canonical_strategy
 from repro.platform.failures import FailureModel
 from repro.platform.interference import InterferenceModel
 from repro.platform.spec import PlatformSpec
@@ -34,8 +34,11 @@ class SimulationConfig:
     classes:
         Application classes of the workload.
     strategy:
-        Name of the I/O scheduling strategy (one of
-        :data:`repro.iosched.registry.STRATEGIES`).
+        The I/O scheduling strategy: a legacy name, a parameterized spec
+        string (``"ordered[policy=fixed,period_s=1800]"``) or a
+        :class:`~repro.iosched.spec.StrategySpec`.  Normalised to the
+        canonical string form on construction, so equal configurations
+        compare equal and share one cache digest.
     horizon_s:
         Length of the simulated segment (seconds).
     warmup_s / cooldown_s:
@@ -60,7 +63,7 @@ class SimulationConfig:
 
     platform: PlatformSpec
     classes: tuple[ApplicationClass, ...]
-    strategy: str = "least-waste"
+    strategy: str | StrategySpec = "least-waste"
     horizon_s: float = 8.0 * DAY
     warmup_s: float = 1.0 * DAY
     cooldown_s: float = 1.0 * DAY
@@ -86,10 +89,10 @@ class SimulationConfig:
         object.__setattr__(self, "classes", tuple(self.classes))
         if not self.classes:
             raise ConfigurationError("SimulationConfig requires at least one application class")
-        if self.strategy not in STRATEGIES:
-            raise ConfigurationError(
-                f"unknown strategy {self.strategy!r}; expected one of {', '.join(STRATEGIES)}"
-            )
+        # One validator for every spelling (legacy name, spec string,
+        # StrategySpec): parse errors carry the registry's did-you-mean
+        # suggestions, and the stored field is always the canonical string.
+        object.__setattr__(self, "strategy", canonical_strategy(self.strategy))
         if self.horizon_s <= 0.0:
             raise ConfigurationError("horizon_s must be positive")
         if self.warmup_s < 0.0 or self.cooldown_s < 0.0:
@@ -141,7 +144,7 @@ class SimulationConfig:
         )
 
     # ------------------------------------------------------------ variants
-    def with_strategy(self, strategy: str) -> "SimulationConfig":
+    def with_strategy(self, strategy: str | StrategySpec) -> "SimulationConfig":
         """Copy of this configuration with a different strategy."""
         return replace(self, strategy=strategy)
 

@@ -74,6 +74,98 @@ def test_unknown_command_rejected():
         main(["not-a-command"])
 
 
-def test_simulate_rejects_unknown_strategy():
-    with pytest.raises(SystemExit):
-        main(["simulate", "--strategy", "bogus"])
+def test_simulate_rejects_unknown_strategy(capsys):
+    # Free-form --strategy goes through the library validator: exit 2 with
+    # the registry's message (argparse used to SystemExit via choices=).
+    assert main(["simulate", "--strategy", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown strategy 'bogus'" in err
+
+
+# ------------------------------------------------------- strategy specs
+def test_strategies_command_lists_kinds_and_legacy_names(capsys):
+    assert main(["strategies"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("oblivious", "ordered", "orderednb", "least-waste"):
+        assert kind in out
+    assert "policy" in out and "period_s" in out and "mtbf_bias" in out
+    assert "ordered-fixed" in out  # legacy aliases listed
+    assert "register_strategy" in out  # points at the extension API
+
+
+def test_strategies_command_json_is_machine_readable(capsys):
+    import json
+
+    assert main(["strategies", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "ordered" in payload["kinds"]
+    params = {p["name"]: p for p in payload["kinds"]["ordered"]["params"]}
+    assert params["policy"]["choices"] == ["fixed", "daly"]
+    assert params["period_s"]["type"] == "float"
+    assert payload["legacy"][-1] == "least-waste"
+
+
+def test_simulate_accepts_parameterized_spec(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--strategy", "ordered[policy=fixed,period_s=1800]",
+                "--bandwidth-gbs", "80",
+                "--horizon-days", "0.5",
+                "--seed", "0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ordered[policy=fixed,period_s=1800]" in out
+
+
+def test_campaign_accepts_parameterized_strategies(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--preset", "smoke",
+                "--num-runs", "1",
+                "--strategies", "ordered[policy=fixed,period_s=1800]",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ordered[policy=fixed,period_s=1800]" in out
+
+
+def test_malformed_strategy_spec_exits_2(capsys):
+    assert main(["simulate", "--strategy", "ordered[policy=", "--horizon-days", "0.1"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert main(["campaign", "--preset", "smoke", "--strategies", "ordered-dally"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'ordered-daly'?" in err
+
+
+def test_campaign_csv_has_resolved_spec_column(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    assert (
+        main(
+            [
+                "campaign",
+                "--preset", "period-sweep",
+                "--num-runs", "1",
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    import csv as _csv
+    import io as _io
+
+    rows = list(_csv.DictReader(_io.StringIO(csv_path.read_text())))
+    specs = {row["spec"] for row in rows}
+    assert "ordered[policy=daly]" in specs  # the reference cell, resolved
+    assert "ordered[policy=fixed,period_s=1800]" in specs
+    assert "ordered[policy=fixed,period_s=7200]" in specs

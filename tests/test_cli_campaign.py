@@ -72,7 +72,7 @@ def test_campaign_csv_export(tmp_path, capsys):
     out = capsys.readouterr().out
     assert f"wrote {csv_path}" in out
     header = csv_path.read_text().splitlines()[0]
-    assert header.startswith("campaign,scenario,strategy,best,")
+    assert header.startswith("campaign,scenario,strategy,spec,best,")
 
 
 def test_campaign_cache_reruns_without_simulating(tmp_path, capsys):

@@ -93,3 +93,37 @@ def test_make_scheduler_instantiates_against_engine_and_io():
         assert scheduler.io is io
         assert scheduler.pending_requests() == ()
         assert scheduler.active_requests() == ()
+
+
+# ------------------------------------------------------- parameterized specs
+def test_spec_period_beats_the_fixed_period_argument():
+    """An explicit period_s in the spec wins over the run-level fallback."""
+    strategy = make_strategy("ordered[policy=fixed,period_s=900]", fixed_period_s=1800.0)
+    assert isinstance(strategy.policy, FixedPolicy)
+    assert strategy.policy.period_s == 900.0
+    assert strategy.name == "ordered[policy=fixed,period_s=900]"
+
+
+def test_spec_without_period_inherits_the_fixed_period_argument():
+    strategy = make_strategy("ordered[policy=fixed]", fixed_period_s=1800.0)
+    assert strategy.name == "ordered-fixed"  # canonical collapse
+    assert strategy.policy.period_s == 1800.0
+
+
+def test_least_waste_mtbf_bias_scales_the_scheduler_mtbf():
+    engine = SimulationEngine()
+    io = IOSubsystem(engine, bandwidth_bytes_per_s=1e9)
+    plain = make_strategy("least-waste").make_scheduler(engine, io, node_mtbf_s=1e6)
+    biased = make_strategy("least-waste[mtbf_bias=2]").make_scheduler(
+        engine, io, node_mtbf_s=1e6
+    )
+    assert plain.node_mtbf_s == 1e6
+    assert biased.node_mtbf_s == 2e6
+
+
+def test_make_strategy_accepts_strategy_spec_objects():
+    from repro.iosched.spec import StrategySpec
+
+    strategy = make_strategy(StrategySpec("orderednb", {"policy": "fixed"}))
+    assert strategy.name == "orderednb-fixed"
+    assert isinstance(strategy.policy, FixedPolicy)

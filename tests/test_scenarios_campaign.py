@@ -275,3 +275,65 @@ def test_campaign_from_file_toml(tmp_path):
     assert campaign.name == "toml-campaign"
     assert campaign.base.platform.io_bandwidth_bytes_per_s == pytest.approx(8.0 * GB)
     assert [p.label for p in campaign.axes[0].points] == ["short", "long"]
+
+
+# --------------------------------------------------- parameterized strategies
+def test_period_sweep_preset_sweeps_parameterized_specs():
+    campaign = make_campaign("period-sweep", periods_hours=(0.5, 2.0))
+    scenarios = campaign.scenarios()
+    assert [s.name for s in scenarios] == [
+        "period=reference", "period=0.5h", "period=2h",
+    ]
+    assert scenarios[0].strategies == ("ordered-daly",)
+    assert scenarios[1].strategies == ("ordered[policy=fixed,period_s=1800]",)
+    assert scenarios[2].strategies == ("ordered[policy=fixed,period_s=7200]",)
+    # Every cell maps onto a distinct cache key via its canonical spec.
+    strategies = {s.strategies[0] for s in scenarios}
+    assert len(strategies) == 3
+
+
+def test_campaign_axes_may_sweep_strategy_params():
+    campaign = Campaign(
+        name="bias-sweep",
+        base=make_campaign("smoke").base.apply(num_runs=1, strategies=("least-waste",)),
+        axes=(
+            Axis(
+                name="bias",
+                points=tuple(
+                    AxisPoint(label, {"strategies": (spec,)})
+                    for label, spec in [
+                        ("1x", "least-waste"),
+                        ("2x", "least-waste[mtbf_bias=2]"),
+                    ]
+                ),
+            ),
+        ),
+    )
+    scenarios = campaign.scenarios()
+    assert scenarios[0].strategies == ("least-waste",)
+    assert scenarios[1].strategies == ("least-waste[mtbf_bias=2]",)
+    # Specs survive config construction and digesting.
+    from repro.exec.digest import config_digest
+
+    digests = {config_digest(s.config(s.strategies[0])) for s in scenarios}
+    assert len(digests) == 2
+
+
+def test_campaign_file_accepts_parameterized_strategies(tmp_path):
+    import json
+
+    path = tmp_path / "period.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "file-period",
+                "base": "smoke",
+                "overrides": {
+                    "num_runs": 1,
+                    "strategies": ["Ordered[Policy=Fixed, Period_s=1800]".replace(" ", "")],
+                },
+            }
+        )
+    )
+    campaign = Campaign.from_file(path)
+    assert campaign.base.strategies == ("ordered[policy=fixed,period_s=1800]",)

@@ -208,14 +208,14 @@ def test_campaign_csv_quotes_scenario_names(matrix):
     result = CampaignRunner().run(matrix)
     rows = list(csv.reader(io.StringIO(campaign_to_csv(result))))
     header, data = rows[0], rows[1:]
-    assert header[:4] == ["campaign", "scenario", "strategy", "best"]
+    assert header[:5] == ["campaign", "scenario", "strategy", "spec", "best"]
     assert len(data) == matrix.size() * len(matrix.base.strategies)
     # Scenario names contain commas yet survive the round-trip intact.
     names = {row[1] for row in data}
     assert names == {s.name for s in matrix.scenarios()}
     # Exactly one winner per scenario.
     for scenario in matrix.scenarios():
-        winners = [row for row in data if row[1] == scenario.name and row[3] == "1"]
+        winners = [row for row in data if row[1] == scenario.name and row[4] == "1"]
         assert len(winners) == 1
 
 
