@@ -16,8 +16,9 @@ The package provides three layers:
   (:mod:`repro.stats`), parallel execution and result caching
   (:mod:`repro.exec`), broker-less distributed execution over a filesystem
   work spool (:mod:`repro.distributed`), per-figure experiments
-  (:mod:`repro.experiments`) and declarative scenario campaigns
-  (:mod:`repro.scenarios`).
+  (:mod:`repro.experiments`), declarative scenario campaigns
+  (:mod:`repro.scenarios`) and the per-cell waste drill-down
+  (:mod:`repro.trace`).
 
 Quickstart
 ----------
@@ -84,6 +85,12 @@ from repro.scenarios.presets import campaign_names, make_campaign
 from repro.scenarios.report import campaign_to_csv, render_campaign
 from repro.scenarios.runner import CampaignResult, CampaignRunner
 from repro.scenarios.spec import Scenario
+from repro.trace import (
+    WasteDecomposition,
+    decomposition_to_csv,
+    drill_down_cell,
+    render_decomposition,
+)
 
 __version__ = "1.0.0"
 
@@ -158,4 +165,9 @@ __all__ = [
     "campaign_to_csv",
     "make_campaign",
     "render_campaign",
+    # per-cell drill-down
+    "WasteDecomposition",
+    "decomposition_to_csv",
+    "drill_down_cell",
+    "render_decomposition",
 ]

@@ -13,6 +13,8 @@ from the shell::
     coopckpt figure3 --num-runs 2
     coopckpt ablation --study interference
     coopckpt trace --strategy least-waste --horizon-days 2
+    coopckpt trace --campaign smoke --scenario "io=1,mtbf=short" \\
+        --strategy least-waste --seed 0 --cache-dir ~/.cache/coopckpt --csv cell.csv
     coopckpt campaign --preset smoke --workers 4 --cache-dir ~/.cache/coopckpt
     coopckpt campaign --preset prospective-resilience --details --csv campaign.csv
     coopckpt campaign --file my-sweep.toml --backend spool --spool ./spool --cache-dir ./cache
@@ -309,13 +311,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true", help="report what would be removed, remove nothing"
     )
 
-    trace = sub.add_parser("trace", help="run one simulation and print its job timeline")
-    trace.add_argument("--strategy", default="least-waste", metavar="SPEC", help=_STRATEGY_HELP)
-    trace.add_argument("--bandwidth-gbs", type=float, default=80.0)
-    trace.add_argument("--node-mtbf-years", type=float, default=2.0)
-    trace.add_argument("--horizon-days", type=float, default=2.0)
-    trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--max-events", type=int, default=40, help="timeline lines to print")
+    trace = sub.add_parser(
+        "trace",
+        help="job timeline of one simulation, or the waste decomposition of "
+        "one campaign cell (--campaign)",
+    )
+    trace.add_argument(
+        "--strategy", default=None, metavar="SPEC",
+        help=f"{_STRATEGY_HELP} (default: least-waste, or the campaign "
+        "scenario's first strategy)",
+    )
+    # Timeline-mode knobs default to None so campaign mode can reject them
+    # loudly instead of silently ignoring them (defaults in _cmd_trace).
+    trace.add_argument("--bandwidth-gbs", type=float, default=None, help="timeline mode (default 80)")
+    trace.add_argument("--node-mtbf-years", type=float, default=None, help="timeline mode (default 2)")
+    trace.add_argument("--horizon-days", type=float, default=None, help="timeline mode (default 2)")
+    trace.add_argument(
+        "--seed", type=int, default=0,
+        help="simulation seed; with --campaign, the 0-based repetition index "
+        "within the cell (selects the N-th derived seed)",
+    )
+    trace.add_argument(
+        "--max-events", type=int, default=None,
+        help="timeline lines to print (timeline mode, default 40)",
+    )
+    trace.add_argument(
+        "--campaign", metavar="NAME|PATH", default=None,
+        help="drill into one campaign cell: a preset name "
+        f"({', '.join(sorted(CAMPAIGNS))}) or a TOML/JSON campaign file",
+    )
+    trace.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="expanded scenario name within the campaign, e.g. "
+        "'io=1,mtbf=short' (default: the campaign's only scenario)",
+    )
+    trace.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the waste decomposition as CSV (--campaign mode)",
+    )
+    trace.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result cache: re-drilling a cell replays its trace sidecar for "
+        "free, and the decomposition is verified against the cell's cached "
+        "waste value (--campaign mode)",
+    )
 
     return parser
 
@@ -552,6 +591,11 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     if args.best_summary:
         for outcome in result.outcomes:
             best = outcome.best_strategy()
+            # No winner to re-simulate: the outcome is empty, or (in a
+            # hand-assembled result) the winner is a strategy the scenario
+            # does not declare, which Scenario.config() would reject.
+            if best is None or best not in outcome.scenario.strategies:
+                continue
             detail = runner.detail(outcome.scenario, best)
             parts.append("")
             parts.append(f"--- {outcome.scenario.name} / {best} (first seed) ---")
@@ -622,6 +666,11 @@ def _cmd_cache(args: argparse.Namespace) -> str:
             f"  total bytes  : {stats.total_bytes}",
             f"  digest now   : version {DIGEST_VERSION}",
         ]
+        if stats.trace_sidecars:
+            lines.insert(
+                3,
+                f"  trace sidecars: {stats.trace_sidecars} ({stats.trace_bytes} bytes)",
+            )
         if stats.versions:
             lines.append("  versions     :")
             for version, count in stats.versions.items():
@@ -647,14 +696,33 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.simulation.simulator import Simulation
     from repro.units import DAY
 
+    # Two modes share the subcommand; flags of one are errors in the other
+    # (never silently ignored).
+    timeline_only = ("bandwidth_gbs", "node_mtbf_years", "horizon_days", "max_events")
+    campaign_only = ("scenario", "csv", "cache_dir")
+    if args.campaign is not None:
+        stray = [name for name in timeline_only if getattr(args, name) is not None]
+        if stray:
+            flags = ", ".join("--" + name.replace("_", "-") for name in stray)
+            raise ConfigurationError(
+                f"{flags} only appl{'ies' if len(stray) == 1 else 'y'} to the "
+                "timeline mode; a --campaign cell is fully defined by its "
+                "scenario (use --scenario/--strategy/--seed to address it)"
+            )
+        return _cmd_trace_cell(args)
+    stray = [name for name in campaign_only if getattr(args, name) is not None]
+    if stray:
+        flags = ", ".join("--" + name.replace("_", "-") for name in stray)
+        raise ConfigurationError(f"{flags} require(s) --campaign: the cell drill-down mode")
     platform = cielo_platform(
-        bandwidth_gbs=args.bandwidth_gbs, node_mtbf_years=args.node_mtbf_years
+        bandwidth_gbs=args.bandwidth_gbs if args.bandwidth_gbs is not None else 80.0,
+        node_mtbf_years=args.node_mtbf_years if args.node_mtbf_years is not None else 2.0,
     )
     config = SimulationConfig(
         platform=platform,
         classes=tuple(apex_workload(platform)),
-        strategy=args.strategy,
-        horizon_s=args.horizon_days * DAY,
+        strategy=args.strategy or "least-waste",
+        horizon_s=(args.horizon_days if args.horizon_days is not None else 2.0) * DAY,
         warmup_s=0.0,
         cooldown_s=0.0,
         seed=args.seed,
@@ -663,8 +731,9 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     simulation = Simulation(config)
     result = simulation.run()
     assert simulation.trace is not None
-    lines = [result.summary(), "", f"timeline (first {args.max_events} events):"]
-    for event in simulation.trace.events[: args.max_events]:
+    max_events = args.max_events if args.max_events is not None else 40
+    lines = [result.summary(), "", f"timeline (first {max_events} events):"]
+    for event in simulation.trace.events[:max_events]:
         detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
         lines.append(f"  t={event.time / HOUR:9.3f} h  {event.job_name:<14} {event.kind.value:<20} {detail}")
     intervals = simulation.trace.achieved_checkpoint_intervals()
@@ -674,7 +743,80 @@ def _cmd_trace(args: argparse.Namespace) -> str:
         for job_id, values in list(intervals.items())[:10]:
             formatted = ", ".join(f"{v / HOUR:.2f}" for v in values)
             lines.append(f"  job {job_id}: {formatted}")
+    waits = {j: w for j, w in simulation.trace.io_wait_by_job().items() if w > 0.0}
+    if waits:
+        lines.append("")
+        lines.append("I/O queue wait (hours), top jobs:")
+        for job_id, wait in sorted(waits.items(), key=lambda kv: (-kv[1], kv[0]))[:10]:
+            lines.append(f"  job {job_id}: {wait / HOUR:.2f}")
     return "\n".join(lines)
+
+
+def _cmd_trace_cell(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.scenarios.campaign import Campaign
+    from repro.scenarios.presets import make_campaign
+    from repro.scenarios.runner import CampaignRunner
+    from repro.trace import decomposition_to_csv, render_decomposition
+
+    if args.campaign in CAMPAIGNS:
+        campaign = make_campaign(args.campaign)
+    elif Path(args.campaign).is_file():
+        campaign = Campaign.from_file(args.campaign)
+    else:
+        raise ConfigurationError(
+            f"unknown campaign {args.campaign!r}: neither a preset "
+            f"({', '.join(sorted(CAMPAIGNS))}) nor a campaign file"
+        )
+    scenarios = campaign.scenarios()
+    if args.scenario is None:
+        if len(scenarios) > 1:
+            names = ", ".join(repr(s.name) for s in scenarios)
+            raise ConfigurationError(
+                f"campaign {campaign.name!r} expands to {len(scenarios)} "
+                f"scenarios; pick one with --scenario: {names}"
+            )
+        scenario = scenarios[0]
+    else:
+        by_name = {s.name: s for s in scenarios}
+        scenario = by_name.get(args.scenario)
+        if scenario is None:
+            names = ", ".join(repr(name) for name in by_name)
+            raise ConfigurationError(
+                f"no scenario named {args.scenario!r} in campaign "
+                f"{campaign.name!r}; known scenarios: {names}"
+            )
+    strategy = args.strategy if args.strategy is not None else scenario.strategies[0]
+
+    # _runner_from_args registers the runner on args so main()'s finally
+    # block closes any backend it grows (the no-orphaned-workers guarantee).
+    runner = CampaignRunner(runner=_runner_from_args(args))
+    drill = runner.drill_down_detailed(scenario, strategy, rep=args.seed)
+    decomposition = drill.decomposition
+    parts = [render_decomposition(decomposition)]
+    if runner.runner.cache is not None:
+        # A pre-drill recorded value implies repr-exact agreement (the drill
+        # raises on contradiction); only then is a match claimed — CI greps
+        # this line, and a fresh drill writing its own entry must not
+        # self-confirm (e.g. through a typo'd --cache-dir).
+        if drill.recorded_value is not None:
+            parts.append(
+                f"components sum to {decomposition.waste_ratio!r} — "
+                "matches the cached cell value"
+            )
+        else:
+            parts.append(
+                f"components sum to {decomposition.waste_ratio!r} "
+                "(cell was not in the cache before; its value and trace "
+                "sidecar are now stored)"
+            )
+    if args.csv:
+        from repro.experiments.export import write_text
+
+        path = write_text(args.csv, decomposition_to_csv(decomposition))
+        parts.append(f"wrote {path}")
+    return "\n".join(parts)
 
 
 _COMMANDS = {

@@ -53,7 +53,9 @@ def atomic_write_text(path: Path, text: str) -> None:
         with handle:
             handle.write(text)
         os.replace(handle.name, path)
-    except OSError:
+    except BaseException:
+        # BaseException, not OSError: a KeyboardInterrupt (or any other
+        # non-OSError) escaping mid-write must not leak the temp file either.
         try:
             os.unlink(handle.name)
         except OSError:
@@ -73,6 +75,10 @@ class CacheStats:
     entries: int = 0
     total_bytes: int = 0
     versions: dict[str, int] = field(default_factory=dict)
+    #: Trace sidecars (waste-decomposition drill-down payloads) and their
+    #: bytes; sidecars ride along with entries and are not counted above.
+    trace_sidecars: int = 0
+    trace_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -167,10 +173,55 @@ class ResultCache:
         atomic_write_text(path, json.dumps(entry))
         self.writes += 1
 
+    # ------------------------------------------------------------ trace sidecars
+    # A drill-down (repro.trace) stores its full waste decomposition as a
+    # *sidecar* next to the scalar entry it decomposes —
+    # ``<root>/<digest[:2]>/<digest>/<strategy>/<seed>.trace`` — so re-drilling
+    # a cell replays the decomposition instead of re-simulating it.  Sidecars
+    # are versioned by DIGEST_VERSION with the same compatibility rule as
+    # entries: a version mismatch is a miss (the cell's key no longer means
+    # the same simulation), never an error.
+
+    def trace_path(self, digest: str, strategy: str, seed: int) -> Path:
+        """On-disk path of the trace sidecar of one ``(digest, strategy, seed)`` key."""
+        return self._entry_path(digest, strategy, seed).with_suffix(".trace")
+
+    def get_trace(self, digest: str, strategy: str, seed: int) -> dict | None:
+        """Sidecar payload for one key, or ``None`` on a miss.
+
+        Missing files, malformed JSON, non-dict payloads and payloads written
+        under a different :data:`~repro.exec.digest.DIGEST_VERSION` all count
+        as misses — the caller re-simulates and rewrites, exactly like scalar
+        entries.
+        """
+        from repro.exec.digest import DIGEST_VERSION
+
+        path = self.trace_path(digest, strategy, seed)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != DIGEST_VERSION:
+            return None
+        return payload
+
+    def put_trace(self, digest: str, strategy: str, seed: int, payload: dict) -> None:
+        """Store a trace sidecar atomically, stamped with the digest version."""
+        from repro.exec.digest import DIGEST_VERSION
+
+        path = self.trace_path(digest, strategy, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps({**payload, "version": DIGEST_VERSION}))
+
     # ------------------------------------------------------------ maintenance
     def _entries(self) -> Iterator[Path]:
         """Every entry file currently on disk (excluding in-flight temps)."""
         return self.root.glob("*/*/*/*.json")
+
+    def _sidecars(self) -> Iterator[Path]:
+        """Every trace sidecar on disk (same layout as :meth:`_entries`)."""
+        return self.root.glob("*/*/*/*.trace")
 
     def stats(self) -> CacheStats:
         """Walk the cache tree and aggregate entry count, bytes and versions."""
@@ -192,7 +243,21 @@ class ResultCache:
             entries += 1
             total_bytes += size
             versions[version] = versions.get(version, 0) + 1
-        return CacheStats(entries=entries, total_bytes=total_bytes, versions=dict(sorted(versions.items())))
+        trace_sidecars = 0
+        trace_bytes = 0
+        for path in self._sidecars():
+            trace_sidecars += 1
+            try:
+                trace_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            entries=entries,
+            total_bytes=total_bytes,
+            versions=dict(sorted(versions.items())),
+            trace_sidecars=trace_sidecars,
+            trace_bytes=trace_bytes,
+        )
 
     def gc(
         self,
@@ -208,8 +273,11 @@ class ResultCache:
         recorded under that digest-format version (``"unversioned"`` matches
         pre-version entries, ``"corrupt"`` matches unparseable ones).  With
         both criteria given an entry is removed when *either* matches; with
-        neither, nothing is removed.  Empty digest/strategy directories left
-        behind are cleaned up as well.
+        neither, nothing is removed.  A removed entry takes its trace sidecar
+        with it, and any criteria-bearing pass also sweeps *orphaned*
+        sidecars (whose scalar entry is already gone — entry-based criteria
+        could never judge them again).  Empty digest/strategy directories
+        left behind are cleaned up as well.
         """
         if older_than_s is None and digest_version is None:
             return GcReport(scanned=sum(1 for _ in self._entries()), dry_run=dry_run)
@@ -232,14 +300,49 @@ class ResultCache:
                 version_match = version == digest_version
             if not (expired or version_match):
                 continue
+            # A pruned entry takes its trace sidecar with it: a sidecar
+            # without its scalar entry could otherwise outlive a prune
+            # indefinitely (age/version criteria are judged on entries).
+            # Its bytes count in dry runs too, so the estimate an operator
+            # acts on matches what a real pass reclaims.
+            sidecar = path.with_suffix(".trace")
+            try:
+                sidecar_size = sidecar.stat().st_size
+            except OSError:
+                sidecar_size = 0
             removed += 1
-            reclaimed += stat.st_size
+            reclaimed += stat.st_size + sidecar_size
             if not dry_run:
                 try:
                     path.unlink()
                 except OSError:
                     removed -= 1
-                    reclaimed -= stat.st_size
+                    reclaimed -= stat.st_size + sidecar_size
+                    continue
+                try:
+                    # missing_ok: "no sidecar" and "empty sidecar" differ —
+                    # a 0-byte sidecar must still be unlinked or it orphans.
+                    sidecar.unlink(missing_ok=True)
+                except OSError:
+                    reclaimed -= sidecar_size
+        # Orphaned sidecars (scalar entry gone, e.g. a prior unlink race or
+        # external deletion): no entry-based criterion can ever select them,
+        # so any criteria-bearing gc pass reclaims them outright.
+        for sidecar in self._sidecars():
+            if sidecar.with_suffix(".json").exists():
+                continue
+            try:
+                size = sidecar.stat().st_size
+            except OSError:
+                size = 0
+            removed += 1
+            reclaimed += size
+            if not dry_run:
+                try:
+                    sidecar.unlink(missing_ok=True)
+                except OSError:
+                    removed -= 1
+                    reclaimed -= size
         if not dry_run and removed:
             # Drop now-empty <strategy>/, <digest>/ and <shard>/ directories.
             for depth in ("*/*/*", "*/*", "*"):

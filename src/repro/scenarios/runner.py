@@ -41,9 +41,22 @@ class ScenarioOutcome:
     scenario: Scenario
     summaries: dict[str, DistributionSummary]
 
-    def best_strategy(self) -> str:
-        """Strategy with the lowest mean waste ratio (ties: declaration order)."""
-        return min(self.scenario.strategies, key=lambda s: self.summaries[s].mean)
+    def best_strategy(self) -> str | None:
+        """Strategy with the lowest mean waste ratio among *present* summaries.
+
+        A partially populated outcome (an interrupted or resumed campaign, or
+        a hand-assembled result) may summarise only a subset of the
+        scenario's declared strategies — candidates are therefore the
+        summaries actually present, ranked in declaration order (ties go to
+        the earlier declaration; summaries for undeclared strategies follow
+        in insertion order).  Returns ``None`` for an empty outcome, which
+        the renderers show as a row with no winner instead of crashing.
+        """
+        candidates = [s for s in self.scenario.strategies if s in self.summaries]
+        candidates += [s for s in self.summaries if s not in candidates]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: self.summaries[s].mean)
 
 
 @dataclass
@@ -163,3 +176,42 @@ class CampaignRunner:
             )
         seed = derive_seeds(scenario.base_seed, 1)[0]
         return Simulation(scenario.config(strategy).with_seed(seed)).run()
+
+    def drill_down(self, scenario: Scenario, strategy: str, rep: int = 0):
+        """Waste decomposition of one campaign cell ``(scenario, strategy, seed)``.
+
+        ``rep`` selects the repetition (0-based index into the scenario's
+        derived seeds — the same seeds every strategy of the scenario saw).
+        The cell is re-run with trace capture enabled, or replayed for free
+        from the trace sidecar the runner's cache holds from an earlier
+        drill; either way the returned
+        :class:`~repro.trace.decompose.WasteDecomposition` has components
+        summing repr-exactly to the cell's recorded waste ratio.
+
+        Like :meth:`detail`, this requires a concrete ``base_seed`` so the
+        decomposed repetition is one the campaign actually measured.
+        """
+        return self.drill_down_detailed(scenario, strategy, rep).decomposition
+
+    def drill_down_detailed(self, scenario: Scenario, strategy: str, rep: int = 0):
+        """Like :meth:`drill_down`, returning a
+        :class:`~repro.trace.drilldown.CellDrillDown` with the cell's cache
+        provenance (whether its scalar value pre-existed the drill)."""
+        from repro.trace.drilldown import drill_down_cell_detailed
+
+        if scenario.base_seed is None:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} has base_seed=None; a drill-down "
+                "needs a concrete base seed to address a repetition the "
+                "campaign actually measured"
+            )
+        if not 0 <= rep < scenario.num_runs:
+            raise ConfigurationError(
+                f"repetition {rep} out of range: scenario {scenario.name!r} "
+                f"runs {scenario.num_runs} repetition(s) (0..{scenario.num_runs - 1})"
+            )
+        config = scenario.config(strategy)  # validates the strategy too
+        seed = derive_seeds(scenario.base_seed, rep + 1)[rep]
+        return drill_down_cell_detailed(
+            config, seed, cache=self.runner.cache, scenario=scenario.name
+        )

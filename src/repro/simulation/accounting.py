@@ -18,6 +18,13 @@ category:
 
 Intervals are clipped to the measurement window; scalar amounts (lost work)
 are attributed to the instant of the triggering event.
+
+With ``track_jobs=True`` every attribution additionally lands in a per-job
+ledger (keyed by the ``job`` id the recorder passes), which is what the
+:mod:`repro.trace` drill-down decomposes.  The per-job ledger is accumulated
+*separately* from the global totals — the global floating-point additions
+are byte-for-byte the same statements with or without tracking, so enabling
+it can never change a simulation's reported results.
 """
 
 from __future__ import annotations
@@ -50,7 +57,9 @@ class Category(Enum):
 class Accounting:
     """Accumulates node-seconds per category inside ``[window_start, window_end]``."""
 
-    def __init__(self, window_start: float, window_end: float) -> None:
+    def __init__(
+        self, window_start: float, window_end: float, *, track_jobs: bool = False
+    ) -> None:
         if window_end < window_start:
             raise SimulationError(
                 f"invalid measurement window [{window_start}, {window_end}]"
@@ -59,6 +68,11 @@ class Accounting:
         self._end = float(window_end)
         self._totals: dict[Category, float] = {category: 0.0 for category in Category}
         self._allocated = 0.0
+        #: Per-job ledgers ({job id -> {category -> node-seconds}}), kept only
+        #: when requested; None keeps the hot path free of per-job work.
+        self._job_totals: dict[int, dict[Category, float]] | None = (
+            {} if track_jobs else None
+        )
 
     # ------------------------------------------------------------ properties
     @property
@@ -84,6 +98,29 @@ class Accounting:
         """Copy of all per-category totals."""
         return dict(self._totals)
 
+    @property
+    def tracks_jobs(self) -> bool:
+        """True when per-job ledgers are being kept."""
+        return self._job_totals is not None
+
+    def job_totals(self) -> dict[int, dict[Category, float]]:
+        """Per-job copies of the category ledgers (``{}`` unless tracking).
+
+        Keys appear in first-attribution order, which is deterministic for a
+        given simulation; values cover every category (zero-filled).
+        """
+        if self._job_totals is None:
+            return {}
+        return {job: dict(ledger) for job, ledger in self._job_totals.items()}
+
+    def _job_ledger(self, job: int) -> dict[Category, float]:
+        assert self._job_totals is not None
+        ledger = self._job_totals.get(job)
+        if ledger is None:
+            ledger = {category: 0.0 for category in Category}
+            self._job_totals[job] = ledger
+        return ledger
+
     # ------------------------------------------------------------ recording
     def _clip(self, start: float, end: float) -> float:
         if end < start:
@@ -96,20 +133,39 @@ class Accounting:
         """True when ``instant`` falls inside the measurement window."""
         return self._start <= instant <= self._end
 
-    def record_interval(self, category: Category, nodes: float, start: float, end: float) -> None:
+    def record_interval(
+        self,
+        category: Category,
+        nodes: float,
+        start: float,
+        end: float,
+        *,
+        job: int | None = None,
+    ) -> None:
         """Attribute ``nodes`` node-streams over ``[start, end]`` to ``category``."""
         if nodes < 0.0:
             raise SimulationError("nodes must be non-negative")
         length = self._clip(start, end)
         if length > 0.0:
             self._totals[category] += nodes * length
+            if self._job_totals is not None and job is not None:
+                self._job_ledger(job)[category] += nodes * length
 
-    def record_amount(self, category: Category, node_seconds: float, at_time: float) -> None:
+    def record_amount(
+        self,
+        category: Category,
+        node_seconds: float,
+        at_time: float,
+        *,
+        job: int | None = None,
+    ) -> None:
         """Attribute a scalar amount of node-seconds at a given instant."""
         if node_seconds < 0.0:
             raise SimulationError("node_seconds must be non-negative")
         if self.in_window(at_time):
             self._totals[category] += node_seconds
+            if self._job_totals is not None and job is not None:
+                self._job_ledger(job)[category] += node_seconds
 
     def move_amount(
         self,
@@ -117,6 +173,8 @@ class Accounting:
         destination: Category,
         node_seconds: float,
         at_time: float,
+        *,
+        job: int | None = None,
     ) -> None:
         """Re-attribute node-seconds from ``source`` to ``destination``.
 
@@ -131,6 +189,10 @@ class Accounting:
         if self.in_window(at_time):
             self._totals[source] -= node_seconds
             self._totals[destination] += node_seconds
+            if self._job_totals is not None and job is not None:
+                ledger = self._job_ledger(job)
+                ledger[source] -= node_seconds
+                ledger[destination] += node_seconds
 
     def record_allocation(self, nodes: float, start: float, end: float) -> None:
         """Record that ``nodes`` nodes were allocated to a job over ``[start, end]``."""

@@ -102,7 +102,12 @@ class Simulation:
         self.pool = NodePool(self.platform.num_nodes)
         self.job_sched = FirstFitScheduler(self.pool)
         window_start, window_end = config.measurement_window
-        self.accounting = Accounting(window_start, window_end)
+        # Trace runs also keep per-job ledgers (the waste drill-down input);
+        # the global totals are accumulated by the same statements either
+        # way, so tracking never changes the reported results.
+        self.accounting = Accounting(
+            window_start, window_end, track_jobs=config.collect_trace
+        )
 
         if jobs is None:
             jobs = generate_jobs(
@@ -194,7 +199,14 @@ class Simulation:
             return
         self._account_request(request)
         context.blocking_request = None
-        self._record(job, TraceEventType.INPUT_DONE, io_kind=request.kind.value)
+        self._record(
+            job,
+            TraceEventType.INPUT_DONE,
+            io_kind=request.kind.value,
+            waited=request.waited,
+            duration=(request.completed_at or 0.0) - (request.granted_at or 0.0),
+            volume=request.volume_bytes,
+        )
         self._begin_compute(job)
 
     def _begin_compute(self, job: Job) -> None:
@@ -242,7 +254,9 @@ class Simulation:
         context = self._context(job)
         delta = job.pause_progress(now)
         if delta > 0.0:
-            self.accounting.record_interval(Category.COMPUTE, job.nodes, now - delta, now)
+            self.accounting.record_interval(
+                Category.COMPUTE, job.nodes, now - delta, now, job=job.job_id
+            )
         self.engine.cancel(context.compute_event)
         self.engine.cancel(context.regular_event)
         context.compute_event = None
@@ -334,6 +348,7 @@ class Simulation:
             TraceEventType.CHECKPOINT_DONE,
             protected_work=job.work_protected_s,
             commit_time=(request.completed_at or 0.0) - (request.granted_at or 0.0),
+            waited=request.waited,
         )
 
         # Next request P - C after this completion (first-order scheduling
@@ -372,7 +387,13 @@ class Simulation:
             return
         self._account_request(request)
         context.blocking_request = None
-        self._record(job, TraceEventType.REGULAR_IO_DONE)
+        self._record(
+            job,
+            TraceEventType.REGULAR_IO_DONE,
+            waited=request.waited,
+            duration=(request.completed_at or 0.0) - (request.granted_at or 0.0),
+            volume=request.volume_bytes,
+        )
         self._maybe_resume(job)
 
     # ---------------------------------------------------------------- completion
@@ -412,6 +433,13 @@ class Simulation:
             return
         self._account_request(request)
         context.blocking_request = None
+        self._record(
+            job,
+            TraceEventType.OUTPUT_DONE,
+            waited=request.waited,
+            duration=(request.completed_at or 0.0) - (request.granted_at or 0.0),
+            volume=request.volume_bytes,
+        )
         self._complete_job(job)
 
     def _complete_job(self, job: Job) -> None:
@@ -444,7 +472,7 @@ class Simulation:
         lost = max(0.0, job.work_done_s - job.work_protected_s)
         if lost > 0.0:
             self.accounting.move_amount(
-                Category.COMPUTE, Category.LOST_WORK, lost * job.nodes, now
+                Category.COMPUTE, Category.LOST_WORK, lost * job.nodes, now, job=job.job_id
             )
 
         self.engine.cancel(context.checkpoint_due_event)
@@ -506,22 +534,30 @@ class Simulation:
         completed = request.completed_at if request.completed_at is not None else self.engine.now
 
         if request.kind is IOKind.CHECKPOINT:
-            self.accounting.record_interval(Category.CHECKPOINT, nodes, granted, completed)
+            self.accounting.record_interval(
+                Category.CHECKPOINT, nodes, granted, completed, job=job.job_id
+            )
             if not self.strategy.nonblocking_checkpoints:
                 self.accounting.record_interval(
-                    Category.CHECKPOINT_WAIT, nodes, submitted, granted
+                    Category.CHECKPOINT_WAIT, nodes, submitted, granted, job=job.job_id
                 )
             return
         if request.kind is IOKind.RECOVERY:
-            self.accounting.record_interval(Category.RECOVERY, nodes, submitted, completed)
+            self.accounting.record_interval(
+                Category.RECOVERY, nodes, submitted, completed, job=job.job_id
+            )
             return
 
         # Input, output and regular I/O: the un-dilated transfer time is
         # useful; waiting and dilation are waste.
         base = min(self.io.duration_alone(request.volume_bytes), completed - submitted)
         boundary = completed - base
-        self.accounting.record_interval(Category.BASE_IO, nodes, boundary, completed)
-        self.accounting.record_interval(Category.IO_DELAY, nodes, submitted, boundary)
+        self.accounting.record_interval(
+            Category.BASE_IO, nodes, boundary, completed, job=job.job_id
+        )
+        self.accounting.record_interval(
+            Category.IO_DELAY, nodes, submitted, boundary, job=job.job_id
+        )
 
     def _flush_open_accounting(self) -> None:
         """Close accounting for jobs still running when the horizon is reached."""
@@ -532,7 +568,7 @@ class Simulation:
                 delta = job.pause_progress(horizon)
                 if delta > 0.0:
                     self.accounting.record_interval(
-                        Category.COMPUTE, job.nodes, horizon - delta, horizon
+                        Category.COMPUTE, job.nodes, horizon - delta, horizon, job=job.job_id
                     )
             self.accounting.record_allocation(job.nodes, context.allocated_at, horizon)
 

@@ -34,6 +34,7 @@ class TraceEventType(Enum):
     CHECKPOINT_DONE = "checkpoint-done"
     REGULAR_IO_DONE = "regular-io-done"
     OUTPUT_START = "output-start"
+    OUTPUT_DONE = "output-done"
     JOB_COMPLETE = "job-complete"
     JOB_FAILED = "job-failed"
     RESTART_SUBMITTED = "restart-submitted"
@@ -128,6 +129,33 @@ class TraceRecorder:
             intervals.append(time - previous)
             previous = time
         return intervals
+
+    def io_wait_by_job(self) -> dict[int, float]:
+        """Total recorded I/O queue wait per job (wall-clock seconds).
+
+        Sums the ``waited`` detail over every completion event that carries
+        one (input/recovery, regular I/O, output and checkpoint completions),
+        i.e. how long each job's transfers sat in the scheduler's queue
+        before being granted the file system.
+        """
+        completions = (
+            TraceEventType.INPUT_DONE,
+            TraceEventType.REGULAR_IO_DONE,
+            TraceEventType.OUTPUT_DONE,
+            TraceEventType.CHECKPOINT_DONE,
+        )
+        waits: dict[int, float] = {}
+        for event in self._events:
+            # Only completion events: CHECKPOINT_START carries the same
+            # ``waited`` value as its CHECKPOINT_DONE and must not be
+            # counted twice.
+            if event.kind not in completions:
+                continue
+            waited = event.detail.get("waited")
+            if waited is None:
+                continue
+            waits[event.job_id] = waits.get(event.job_id, 0.0) + float(waited)
+        return waits
 
     def achieved_checkpoint_intervals(self) -> dict[int, list[float]]:
         """Achieved checkpoint intervals for every job that checkpointed."""

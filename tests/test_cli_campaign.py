@@ -107,3 +107,101 @@ def test_campaign_workers_flag_matches_serial_output(capsys):
 def test_campaign_validates_num_runs():
     # Misconfiguration follows the documented contract: exit 2, not 1.
     assert main(["campaign", "--preset", "smoke", "--num-runs", "0"]) == 2
+
+
+# --------------------------------------------------------- trace drill-down
+def test_trace_drills_a_campaign_cell_and_matches_the_cache(tmp_path, capsys):
+    """The CI contract: run a campaign, drill one cell, decomposition
+    components sum to the cell's cached waste value."""
+    cache_dir = str(tmp_path / "cache")
+    assert main(["campaign", "--preset", "smoke", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    csv_path = tmp_path / "cell.csv"
+    assert (
+        main(
+            [
+                "trace",
+                "--campaign", "smoke",
+                "--scenario", "io=1,mtbf=short",
+                "--strategy", "least-waste",
+                "--seed", "0",
+                "--cache-dir", cache_dir,
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "matches the cached cell value" in out
+    assert "waste components" in out
+    first = csv_path.read_text()
+    assert first.startswith("scenario,strategy,seed,scope,job,")
+
+    # Re-drilling replays the sidecar and stays byte-identical.
+    assert (
+        main(
+            [
+                "trace",
+                "--campaign", "smoke",
+                "--scenario", "io=1,mtbf=short",
+                "--strategy", "least-waste",
+                "--cache-dir", cache_dir,
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert csv_path.read_text() == first
+
+
+def test_trace_on_a_cold_cache_does_not_claim_a_vacuous_match(tmp_path, capsys):
+    """Without a prior campaign run there is no recorded value to verify
+    against; the drill must say so, not self-confirm the entry it wrote."""
+    cache_dir = str(tmp_path / "fresh")
+    argv = [
+        "trace",
+        "--campaign", "smoke",
+        "--scenario", "io=1,mtbf=short",
+        "--strategy", "least-waste",
+        "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "matches the cached cell value" not in out
+    assert "was not in the cache before" in out
+    # The drill warmed the cache, so a second run really does compare.
+    assert main(argv) == 0
+    assert "matches the cached cell value" in capsys.readouterr().out
+
+
+def test_trace_cell_defaults_and_works_without_a_cache(capsys):
+    """--scenario picks the cell; strategy defaults to the scenario's first."""
+    assert main(["trace", "--campaign", "smoke", "--scenario", "io=4,mtbf=long"]) == 0
+    out = capsys.readouterr().out
+    assert "Cell io=4,mtbf=long / ordered-daly" in out
+    assert "waste ratio" in out
+
+
+def test_trace_cell_addressing_errors_exit_2(tmp_path, capsys):
+    # Unknown campaign (neither preset nor file).
+    assert main(["trace", "--campaign", "bogus"]) == 2
+    # Ambiguous scenario: smoke expands to four.
+    assert main(["trace", "--campaign", "smoke"]) == 2
+    # Unknown scenario name.
+    assert main(["trace", "--campaign", "smoke", "--scenario", "nope"]) == 2
+    # Repetition out of range (smoke runs 2 repetitions).
+    assert (
+        main(["trace", "--campaign", "smoke", "--scenario", "io=1,mtbf=short", "--seed", "9"])
+        == 2
+    )
+    # --csv without --campaign has nothing to export.
+    assert main(["trace", "--csv", str(tmp_path / "x.csv")]) == 2
+    # Mode mix-ups are loud, never silently ignored: timeline knobs don't
+    # apply to a campaign cell, and cell addressing needs a campaign.
+    assert main(["trace", "--campaign", "smoke", "--scenario", "io=1,mtbf=short",
+                 "--horizon-days", "5"]) == 2
+    assert main(["trace", "--scenario", "io=1,mtbf=short"]) == 2
+    err = capsys.readouterr().err
+    assert "pick one with --scenario" in err
+    assert "--horizon-days only applies to the timeline mode" in err

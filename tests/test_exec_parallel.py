@@ -412,3 +412,42 @@ def test_waste_ratio_task_matches_direct_simulation(tiny_config):
     task = WasteRatioTask(config)
     seed = derive_seeds(0, 1)[0]
     assert task(seed) == Simulation(config.with_seed(seed)).run().waste_ratio
+
+
+def test_atomic_write_text_cleans_up_on_any_exception(tmp_path, monkeypatch):
+    """Regression: a non-OSError escaping mid-write (e.g. KeyboardInterrupt)
+    leaked the temp file; cleanup must run for every ``BaseException``."""
+    import tempfile as _tempfile
+
+    from repro.exec.cache import atomic_write_text
+
+    class _ExplodingHandle:
+        """Proxy whose write raises after the temp file exists on disk."""
+
+        def __init__(self, handle, exc):
+            self._handle = handle
+            self._exc = exc
+            self.name = handle.name
+
+        def write(self, text):
+            raise self._exc
+
+        def __enter__(self):
+            self._handle.__enter__()
+            return self
+
+        def __exit__(self, *exc_info):
+            return self._handle.__exit__(*exc_info)
+
+    for exc in (KeyboardInterrupt(), OSError("disk full"), ValueError("boom")):
+        real = _tempfile.NamedTemporaryFile
+
+        def exploding(*args, _exc=exc, **kwargs):
+            return _ExplodingHandle(real(*args, **kwargs), _exc)
+
+        monkeypatch.setattr("repro.exec.cache.tempfile.NamedTemporaryFile", exploding)
+        with pytest.raises(type(exc)):
+            atomic_write_text(tmp_path / "target.json", "payload")
+        monkeypatch.setattr("repro.exec.cache.tempfile.NamedTemporaryFile", real)
+        assert not (tmp_path / "target.json").exists()
+        assert list(tmp_path.glob("*.tmp")) == []  # no leaked temp files

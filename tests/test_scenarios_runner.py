@@ -225,3 +225,77 @@ def test_campaign_runner_context_manager_closes_the_backend(matrix):
         assert runner.runner._backend_impl is not None
     assert runner.runner._backend_impl is None  # pool shut down on exit
     runner.close()  # idempotent
+
+
+# ------------------------------------------------------ partial outcomes
+def _partial_outcome(matrix, strategies=("least-waste",)):
+    """An outcome summarising only a subset of the declared strategies,
+    as an interrupted/resumed campaign produces."""
+    from repro.scenarios.runner import ScenarioOutcome
+    from repro.stats.summary import summarize
+
+    scenario = matrix.scenarios()[0]
+    return ScenarioOutcome(
+        scenario=scenario,
+        summaries={s: summarize([0.1, 0.2]) for s in strategies},
+    )
+
+
+def test_best_strategy_skips_strategies_missing_from_partial_summaries(matrix):
+    """Regression: ``min`` over *declared* strategies raised ``KeyError`` when
+    a summary was absent; the best must come from the present ones."""
+    outcome = _partial_outcome(matrix, strategies=("least-waste",))
+    assert set(outcome.scenario.strategies) == {"ordered-daly", "least-waste"}
+    assert outcome.best_strategy() == "least-waste"  # no KeyError
+
+
+def test_best_strategy_of_an_empty_outcome_is_none(matrix):
+    assert _partial_outcome(matrix, strategies=()).best_strategy() is None
+
+
+def test_best_strategy_ties_resolve_in_declaration_order(matrix):
+    outcome = _partial_outcome(matrix, strategies=("least-waste", "ordered-daly"))
+    # Identical means: the earlier *declared* strategy wins.
+    assert outcome.best_strategy() == "ordered-daly"
+
+
+def test_renderers_handle_partial_and_empty_outcomes(matrix):
+    """A partial/resumed campaign must render ('-' cells), not crash."""
+    from repro.scenarios.runner import CampaignResult
+
+    result = CampaignResult(
+        campaign="partial",
+        strategies=tuple(matrix.base.strategies),
+        outcomes=[
+            _partial_outcome(matrix, strategies=("least-waste",)),
+            _partial_outcome(matrix, strategies=()),
+        ],
+    )
+    table = render_campaign(result)
+    assert "-" in table  # the missing cells
+    assert "*" in table  # the present cell still gets its winner
+    details = render_campaign_details(result)
+    assert "least-waste" in details
+    rows = campaign_to_csv(result).splitlines()
+    assert len(rows) == 2  # header + the one populated cell
+
+
+def test_campaign_csv_degrades_unregistered_strategy_kinds_to_their_spec(matrix):
+    """Regression: exporting a campaign that ran a custom strategy kind must
+    not require the kind's registering module in the reporting process."""
+    import csv
+    import io
+
+    from repro.scenarios.runner import CampaignResult, ScenarioOutcome
+    from repro.stats.summary import summarize
+
+    spec = "myplugin[gain=2]"  # never registered in this process
+    outcome = ScenarioOutcome(
+        scenario=matrix.scenarios()[0],
+        summaries={spec: summarize([0.3, 0.4])},
+    )
+    result = CampaignResult(campaign="plugin", strategies=(spec,), outcomes=[outcome])
+    rows = list(csv.reader(io.StringIO(campaign_to_csv(result))))
+    assert rows[1][2] == spec
+    assert rows[1][3] == spec  # resolved spec degrades to the canonical string
+    assert rows[1][4] == "1"  # it is still the row's winner

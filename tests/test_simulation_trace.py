@@ -75,3 +75,49 @@ def test_simulation_trace_disabled_by_default(tiny_config):
     assert sim.trace is None
     sim.run()
     assert sim.trace is None
+
+
+def test_io_completion_events_carry_wait_and_duration_details(tiny_config, tiny_classes):
+    """Completion events record queue wait, transfer duration and volume —
+    the structured inputs of the waste drill-down."""
+    config = tiny_config(
+        "ordered-fixed", horizon_s=1 * DAY, warmup_s=0.0, cooldown_s=0.0, collect_trace=True
+    )
+    jobs = [
+        Job(app_class=tiny_classes[0], total_work_s=2 * HOUR, priority=0.0),
+        Job(app_class=tiny_classes[1], total_work_s=1 * HOUR, priority=1.0),
+    ]
+    sim = Simulation(config, jobs=jobs, failure_trace=FailureTrace([], horizon=config.horizon_s))
+    sim.run()
+    assert sim.trace is not None
+
+    completions = (
+        TraceEventType.INPUT_DONE,
+        TraceEventType.REGULAR_IO_DONE,
+        TraceEventType.OUTPUT_DONE,
+    )
+    seen_kinds = set()
+    for kind in completions:
+        for event in sim.trace.of_kind(kind):
+            assert event.detail["waited"] >= 0.0
+            assert event.detail["duration"] > 0.0
+            assert event.detail["volume"] > 0.0
+            seen_kinds.add(kind)
+    # The toy classes perform no routine I/O; input and output must appear.
+    assert {TraceEventType.INPUT_DONE, TraceEventType.OUTPUT_DONE} <= seen_kinds
+    for event in sim.trace.of_kind(TraceEventType.CHECKPOINT_DONE):
+        assert event.detail["waited"] >= 0.0
+        assert event.detail["commit_time"] > 0.0
+
+
+def test_io_wait_by_job_counts_each_wait_once(tiny_classes):
+    recorder = TraceRecorder()
+    job = Job(app_class=tiny_classes[0], total_work_s=HOUR)
+    recorder.record(0.0, job, TraceEventType.JOB_START)
+    recorder.record(10.0, job, TraceEventType.INPUT_DONE, waited=4.0, duration=6.0)
+    # CHECKPOINT_START and CHECKPOINT_DONE carry the *same* wait: only the
+    # completion may be counted.
+    recorder.record(20.0, job, TraceEventType.CHECKPOINT_START, waited=3.0)
+    recorder.record(25.0, job, TraceEventType.CHECKPOINT_DONE, waited=3.0, commit_time=5.0)
+    recorder.record(30.0, job, TraceEventType.OUTPUT_DONE, waited=1.5, duration=2.0)
+    assert recorder.io_wait_by_job() == {job.job_id: pytest.approx(8.5)}

@@ -1,0 +1,394 @@
+"""Per-cell waste drill-down (repro.trace) and its exactness contract.
+
+The acceptance bar of the subsystem: a drill-down reproduces any campaign
+cell from its cache key with a decomposition whose components sum
+(repr-exact) to the cell's recorded waste ratio, byte-identical across
+repeated invocations, and a cached cell re-drills for free from its trace
+sidecar.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.app_class import ApplicationClass
+from repro.errors import AnalysisError, ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.digest import config_digest
+from repro.exec.runner import ParallelRunner
+from repro.platform.spec import PlatformSpec
+from repro.scenarios.runner import CampaignRunner
+from repro.scenarios.spec import Scenario
+from repro.simulation.simulator import Simulation
+from repro.stats.montecarlo import derive_seeds
+from repro.trace import WasteDecomposition, decomposition_to_csv, drill_down_cell, render_decomposition
+from repro.units import DAY, GB, HOUR
+
+_PLATFORM = PlatformSpec(
+    name="drill",
+    num_nodes=16,
+    cores_per_node=4,
+    memory_per_node_bytes=8.0 * GB,
+    io_bandwidth_bytes_per_s=1.0 * GB,
+    node_mtbf_s=20.0 * DAY,
+)
+
+_WORKLOAD = (
+    ApplicationClass(
+        name="alpha",
+        nodes=4,
+        work_s=2.0 * HOUR,
+        input_bytes=2.0 * GB,
+        output_bytes=4.0 * GB,
+        checkpoint_bytes=8.0 * GB,
+        workload_share=0.6,
+    ),
+    ApplicationClass(
+        name="beta",
+        nodes=2,
+        work_s=1.0 * HOUR,
+        input_bytes=1.0 * GB,
+        output_bytes=2.0 * GB,
+        checkpoint_bytes=3.0 * GB,
+        workload_share=0.4,
+    ),
+)
+
+
+def _scenario(**overrides) -> Scenario:
+    parameters = dict(
+        name="drill",
+        platform=_PLATFORM,
+        workload=_WORKLOAD,
+        strategies=("ordered-daly", "least-waste"),
+        num_runs=2,
+        base_seed=7,
+        horizon_days=0.5,
+        warmup_days=0.05,
+        cooldown_days=0.05,
+    )
+    parameters.update(overrides)
+    return Scenario(**parameters)
+
+
+def _components_sum(d: WasteDecomposition) -> float:
+    # Summed in the same order as WasteBreakdown.waste.
+    return d.io_delay + d.checkpoint + d.checkpoint_wait + d.recovery + d.lost_work
+
+
+# --------------------------------------------------------------- exactness
+def test_drill_down_reproduces_the_cached_cell_value(tmp_path):
+    scenario = _scenario()
+    runner = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    outcome = runner.run_scenario(scenario)
+
+    for strategy in scenario.strategies:
+        for rep in range(scenario.num_runs):
+            decomposition = runner.drill_down(scenario, strategy, rep=rep)
+            seed = derive_seeds(scenario.base_seed, scenario.num_runs)[rep]
+            recorded = runner.runner.cache.probe(
+                config_digest(scenario.config(strategy)), strategy, seed
+            )
+            assert recorded is not None
+            # repr-exact: the decomposition's ratio IS the cached float.
+            assert repr(decomposition.waste_ratio) == repr(recorded)
+            assert _components_sum(decomposition) == decomposition.waste
+    # The drilled repetitions stay consistent with the campaign summary.
+    assert 0.0 <= outcome.summaries[strategy].mean <= 1.0
+
+
+def test_decomposition_contains_per_job_rows_with_stable_labels():
+    scenario = _scenario(num_runs=1)
+    decomposition = CampaignRunner().drill_down(scenario, "least-waste")
+    assert decomposition.jobs, "a half-day run must attribute work to jobs"
+    names = [job.name for job in decomposition.jobs]
+    assert len(set(names)) == len(names)  # labels are unique
+    assert all("#" in name for name in names)  # <class>#<ordinal>[+r...]
+    # Per-job ledgers add up to the aggregates (up to float reassociation).
+    for field in ("compute", "checkpoint", "recovery", "lost_work", "io_delay"):
+        total = sum(getattr(job, field) for job in decomposition.jobs)
+        assert total == pytest.approx(getattr(decomposition, field), rel=1e-9, abs=1e-6)
+
+
+def test_drill_down_is_deterministic_byte_identical_csv():
+    scenario = _scenario(num_runs=1)
+    runner = CampaignRunner()
+    first = decomposition_to_csv(runner.drill_down(scenario, "least-waste"))
+    second = decomposition_to_csv(runner.drill_down(scenario, "least-waste"))
+    assert first == second  # byte-identical despite fresh Job ids
+    assert render_decomposition(
+        runner.drill_down(scenario, "least-waste")
+    ) == render_decomposition(runner.drill_down(scenario, "least-waste"))
+
+
+# --------------------------------------------------------------- sidecars
+def test_second_drill_replays_the_sidecar_without_simulating(tmp_path, monkeypatch):
+    scenario = _scenario(num_runs=1)
+    runner = CampaignRunner(runner=ParallelRunner(cache_dir=tmp_path))
+    first = runner.drill_down(scenario, "least-waste")
+    cache = runner.runner.cache
+    digest = config_digest(scenario.config("least-waste"))
+    assert cache.get_trace(digest, "least-waste", first.seed) is not None
+    assert cache.stats().trace_sidecars == 1
+
+    # Any simulation attempt now blows up: the replay must not simulate.
+    monkeypatch.setattr(
+        "repro.trace.drilldown.Simulation",
+        lambda *a, **k: pytest.fail("sidecar replay must not re-simulate"),
+    )
+    replayed = runner.drill_down(scenario, "least-waste")
+    assert replayed == first
+    assert decomposition_to_csv(replayed) == decomposition_to_csv(first)
+
+
+def test_sidecar_version_mismatch_is_a_miss_and_rewrites(tmp_path):
+    import json
+
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    first = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    path = cache.trace_path(config_digest(config), config.strategy, seed)
+    stale = json.loads(path.read_text())
+    stale["version"] = "0"  # a simulator from another era
+    path.write_text(json.dumps(stale))
+    assert cache.get_trace(config_digest(config), config.strategy, seed) is None
+
+    again = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+    assert again == first
+    # ... and the sidecar was rewritten under the current version.
+    assert cache.get_trace(config_digest(config), config.strategy, seed) is not None
+
+
+def test_contradicted_scalar_entry_fails_loudly(tmp_path):
+    """A scalar entry the simulator can no longer reproduce (a behaviour
+    change without a DIGEST_VERSION bump) must raise, not silently coexist
+    with fresh values in one campaign table."""
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    first = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    # Corrupt the *scalar* entry: neither the (now disagreeing) sidecar nor
+    # a fresh simulation can reproduce it.
+    cache.put(config_digest(config), config.strategy, seed, 0.999)
+    with pytest.raises(AnalysisError, match="contradicts the cached value"):
+        drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    # Restoring the true value heals the cell (sidecar replays again).
+    cache.put(config_digest(config), config.strategy, seed, first.waste_ratio)
+    assert drill_down_cell(config, seed, cache=cache, scenario=scenario.name) == first
+
+
+def test_malformed_sidecar_payload_is_a_miss_and_resimulates(tmp_path):
+    import json
+
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    first = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    path = cache.trace_path(config_digest(config), config.strategy, seed)
+    payload = json.loads(path.read_text())
+    del payload["categories"]
+    path.write_text(json.dumps(payload))
+    assert drill_down_cell(config, seed, cache=cache, scenario=scenario.name) == first
+
+
+def test_sidecar_replay_takes_the_callers_scenario_label(tmp_path):
+    """The cell is content-addressed: a sidecar written under one campaign's
+    scenario name must not leak that name into another campaign's report."""
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    drill_down_cell(config, seed, cache=cache, scenario="campaign-a-name")
+    replayed = drill_down_cell(config, seed, cache=cache, scenario="campaign-b-name")
+    assert replayed.scenario == "campaign-b-name"
+    assert "campaign-b-name" in decomposition_to_csv(replayed)
+
+
+def test_gc_prunes_trace_sidecars_with_their_entries(tmp_path):
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+    assert cache.stats().trace_sidecars == 1
+
+    from repro.exec.digest import DIGEST_VERSION
+
+    # The dry-run estimate already includes the sidecar's bytes, so it
+    # matches what the real pass then reclaims.
+    before = cache.stats()
+    estimate = cache.gc(digest_version=DIGEST_VERSION, dry_run=True)
+    report = cache.gc(digest_version=DIGEST_VERSION)
+    assert report.removed == 1
+    assert report.reclaimed_bytes == estimate.reclaimed_bytes
+    assert report.reclaimed_bytes == before.total_bytes + before.trace_bytes
+    assert cache.stats().trace_sidecars == 0
+    assert not cache.trace_path(config_digest(config), config.strategy, seed).exists()
+
+
+# --------------------------------------------------------------- payloads
+def test_payload_round_trip_is_exact():
+    scenario = _scenario(num_runs=1)
+    decomposition = CampaignRunner().drill_down(scenario, "ordered-daly")
+    assert WasteDecomposition.from_payload(decomposition.to_payload()) == decomposition
+
+
+def test_malformed_payload_raises_analysis_error():
+    with pytest.raises(AnalysisError):
+        WasteDecomposition.from_payload({"strategy": "least-waste"})
+
+
+# --------------------------------------------------------------- addressing
+def test_drill_down_validates_the_cell_address():
+    scenario = _scenario()
+    runner = CampaignRunner()
+    with pytest.raises(ConfigurationError, match="out of range"):
+        runner.drill_down(scenario, "least-waste", rep=scenario.num_runs)
+    with pytest.raises(ConfigurationError, match="does not evaluate"):
+        runner.drill_down(scenario, "oblivious-daly")
+    with pytest.raises(ConfigurationError, match="base_seed=None"):
+        runner.drill_down(_scenario(base_seed=None), "least-waste")
+
+
+def test_from_simulation_requires_a_trace_enabled_run(tiny_config):
+    sim = Simulation(tiny_config())
+    result = sim.run()
+    with pytest.raises(AnalysisError, match="collect_trace"):
+        WasteDecomposition.from_simulation(sim, result, digest="0" * 64)
+
+
+# --------------------------------------------------------------- hypothesis
+_random_cells = st.builds(
+    lambda bandwidth, mtbf_days, horizon_h, strategy, seed: (
+        _scenario(
+            platform=_PLATFORM.with_bandwidth(bandwidth * GB).with_node_mtbf(
+                mtbf_days * DAY
+            ),
+            strategies=(strategy,),
+            num_runs=1,
+            base_seed=seed,
+            horizon_days=horizon_h / 24.0,
+            warmup_days=horizon_h / 240.0,
+            cooldown_days=horizon_h / 240.0,
+        ),
+        strategy,
+    ),
+    bandwidth=st.floats(min_value=0.1, max_value=4.0),
+    mtbf_days=st.floats(min_value=2.0, max_value=60.0),
+    horizon_h=st.floats(min_value=6.0, max_value=18.0),
+    strategy=st.sampled_from(
+        ["oblivious-fixed", "ordered-daly", "orderednb-fixed", "least-waste"]
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(cell=_random_cells)
+def test_decomposition_invariant_over_random_scenarios(cell):
+    """For ANY cell: components sum repr-exactly to the recorded waste ratio."""
+    scenario, strategy = cell
+    config = scenario.config(strategy)
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    recorded = Simulation(config.with_seed(seed)).run().waste_ratio
+    decomposition = drill_down_cell(config, seed, scenario=scenario.name)
+    assert _components_sum(decomposition) == decomposition.waste
+    assert repr(decomposition.waste_ratio) == repr(recorded)
+    assert 0.0 <= decomposition.waste_ratio <= 1.0
+    assert decomposition.efficiency == 1.0 - decomposition.waste_ratio
+
+
+def test_drill_down_matches_cells_recorded_by_the_process_backend(tmp_path):
+    """The cells a process-pool campaign cached drill to the same bits."""
+    scenario = _scenario(num_runs=1)
+    with CampaignRunner(
+        runner=ParallelRunner(backend="process", workers=2, cache_dir=tmp_path)
+    ) as runner:
+        runner.run_scenario(scenario)
+        decomposition = runner.drill_down(scenario, "least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    recorded = runner.runner.cache.probe(
+        config_digest(scenario.config("least-waste")), "least-waste", seed
+    )
+    assert recorded is not None
+    assert repr(decomposition.waste_ratio) == repr(recorded)
+
+
+def test_sidecar_replay_repairs_a_lost_scalar_entry(tmp_path):
+    """A valid sidecar restores a deleted/corrupt scalar entry on replay, so
+    the next campaign run serves the cell as a hit again."""
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    first = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    digest = config_digest(config)
+    entry = cache._entry_path(digest, config.strategy, seed)
+    entry.write_text("{broken")  # torn write: probe() treats it as a miss
+    assert cache.probe(digest, config.strategy, seed) is None
+    replayed = drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+    assert replayed == first
+    assert cache.probe(digest, config.strategy, seed) == first.waste_ratio
+
+
+def test_gc_unlinks_even_empty_trace_sidecars(tmp_path):
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    # External truncation (disk full, interrupted copy): 0 bytes, not absent.
+    cache.trace_path(config_digest(config), config.strategy, seed).write_text("")
+    from repro.exec.digest import DIGEST_VERSION
+
+    cache.gc(digest_version=DIGEST_VERSION)
+    assert cache.stats().trace_sidecars == 0  # no orphan left behind
+
+
+def test_detailed_drill_reports_cache_provenance(tmp_path):
+    """recorded_value distinguishes a genuine comparison from a cold drill
+    that wrote the entry itself (the CLI's match claim rests on this)."""
+    from repro.trace import drill_down_cell_detailed
+
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+
+    cold = drill_down_cell_detailed(config, seed, cache=cache, scenario=scenario.name)
+    assert cold.recorded_value is None  # nothing pre-existed to compare
+    warm = drill_down_cell_detailed(config, seed, cache=cache, scenario=scenario.name)
+    assert warm.recorded_value == cold.decomposition.waste_ratio
+    assert warm.decomposition == cold.decomposition
+
+    runner = CampaignRunner(runner=ParallelRunner(cache=cache))
+    via_runner = runner.drill_down_detailed(scenario, "least-waste")
+    assert via_runner.recorded_value == cold.decomposition.waste_ratio
+
+
+def test_gc_sweeps_orphaned_sidecars(tmp_path):
+    """A sidecar whose scalar entry vanished (race, external delete) is
+    reclaimed by any criteria-bearing gc pass instead of living forever."""
+    scenario = _scenario(num_runs=1)
+    cache = ResultCache(tmp_path)
+    config = scenario.config("least-waste")
+    seed = derive_seeds(scenario.base_seed, 1)[0]
+    drill_down_cell(config, seed, cache=cache, scenario=scenario.name)
+
+    cache._entry_path(config_digest(config), config.strategy, seed).unlink()
+    assert cache.stats().trace_sidecars == 1  # orphaned
+    report = cache.gc(older_than_s=10 * 365 * 86400.0)  # matches no entry
+    assert report.removed == 1 and report.reclaimed_bytes > 0
+    assert cache.stats().trace_sidecars == 0
