@@ -1,24 +1,74 @@
-"""Simulator micro/meso benchmarks and strategy ablation.
+"""Simulator micro/meso benchmarks, strategy ablation and the kernel race.
 
 These benches time the substrate itself (the discrete-event engine and the
 shared-bandwidth I/O model) and one full simulation run per strategy, which
 doubles as the ablation study called out in DESIGN.md: blocking vs.
 non-blocking waits, Fixed vs. Daly periods, FCFS vs. least-waste token
 granting all appear as separately-timed (and separately-checked) cells.
+
+The *kernel race* benches the per-seed end-to-end hot path on the benched
+cell — the prospective 50 000-node platform of §6.2, where the reference
+node pool's linear scans dominate — once per registered simulator kernel,
+and asserts the kernels agree float-for-float while racing.  Running this
+module directly re-measures the cell and rewrites the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py --json benchmarks/BENCH_simulator.json
 """
 
 from __future__ import annotations
+
+import json
+import time
 
 import pytest
 
 from repro.platform.io_subsystem import IOSubsystem
 from repro.sim.engine import SimulationEngine
+from repro.sim.kernel import kernel_names
 from repro.simulation.config import SimulationConfig
 from repro.simulation.simulator import Simulation
 from repro.units import DAY, GB
 from repro.workloads.apex import apex_workload
 from repro.workloads.cielo import cielo_platform
+from repro.workloads.prospective import prospective_platform, prospective_workload
 from repro.iosched.registry import STRATEGIES
+
+#: The benched cell of the kernel race: one §6.2 prospective scenario
+#: (50 000 nodes, 1 TB/s) under least-waste, 8 seeds end to end.
+BENCHED_CELL = {
+    "platform": "prospective",
+    "bandwidth_tbs": 1.0,
+    "strategy": "least-waste",
+    "horizon_days": 2.0,
+    "warmup_days": 0.5,
+    "cooldown_days": 0.5,
+    "seeds": list(range(8)),
+}
+
+
+def benched_cell_config(kernel: str | None, seed: int) -> SimulationConfig:
+    """One seed of the benched cell, pinned to ``kernel``."""
+    platform = prospective_platform(bandwidth_tbs=BENCHED_CELL["bandwidth_tbs"])
+    return SimulationConfig(
+        platform=platform,
+        classes=tuple(prospective_workload(platform)),
+        strategy=BENCHED_CELL["strategy"],
+        horizon_s=BENCHED_CELL["horizon_days"] * DAY,
+        warmup_s=BENCHED_CELL["warmup_days"] * DAY,
+        cooldown_s=BENCHED_CELL["cooldown_days"] * DAY,
+        seed=seed,
+        kernel=kernel,
+    )
+
+
+def run_benched_cell(kernel: str) -> tuple[float, list[float]]:
+    """Run every seed of the benched cell; (seconds per seed, waste ratios)."""
+    seeds = BENCHED_CELL["seeds"]
+    wastes = []
+    start = time.perf_counter()
+    for seed in seeds:
+        wastes.append(Simulation(benched_cell_config(kernel, seed)).run().waste_ratio)
+    return (time.perf_counter() - start) / len(seeds), wastes
 
 
 def test_bench_engine_event_throughput(benchmark):
@@ -81,3 +131,56 @@ def test_bench_simulation_by_strategy(benchmark, strategy):
     result = benchmark.pedantic(run_once, rounds=1, iterations=1)
     assert 0.0 <= result.waste_ratio <= 1.0
     assert result.node_utilization > 0.9
+
+
+@pytest.mark.parametrize("kernel", sorted(kernel_names()))
+def test_bench_per_seed_kernel_race(benchmark, kernel):
+    """Per-seed end-to-end time of the benched cell, one bench per kernel.
+
+    The equivalence contract is asserted while racing: every kernel's waste
+    ratios must equal the reference's exactly (see
+    tests/test_kernel_equivalence.py for the full suite).
+    """
+    config = benched_cell_config(kernel, seed=0)
+    result = benchmark.pedantic(lambda: Simulation(config).run(), rounds=2, iterations=1)
+    reference = Simulation(benched_cell_config("python", seed=0)).run()
+    assert result == reference
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Re-measure the kernel-race baseline")
+    parser.add_argument("--json", default=None, help="write the baseline to this path")
+    args = parser.parse_args(argv)
+
+    kernels = sorted(kernel_names())
+    run_benched_cell("python")  # warm imports and caches before timing
+    timings: dict[str, float] = {}
+    wastes: dict[str, list[float]] = {}
+    for kernel in kernels:
+        seconds, ratios = run_benched_cell(kernel)
+        timings[kernel], wastes[kernel] = seconds, ratios
+        print(f"{kernel:>8}: {seconds * 1e3:8.2f} ms/seed")
+    for kernel in kernels:
+        if wastes[kernel] != wastes["python"]:
+            raise SystemExit(f"kernel {kernel!r} violated the equivalence contract")
+    baseline = {
+        "benched_cell": BENCHED_CELL,
+        "ms_per_seed": {k: round(t * 1e3, 2) for k, t in timings.items()},
+        "speedup_vs_python": {
+            k: round(timings["python"] / timings[k], 2) for k in kernels
+        },
+        "waste_ratios": wastes["python"],
+    }
+    print(f"speedup: {baseline['speedup_vs_python']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from repro.experiments.figure3 import Figure3Config, render_figure3, run_figure3
 from repro.experiments.table1 import render_table1
 from repro.experiments.theory import theoretical_waste
 from repro.scenarios.presets import CAMPAIGNS
+from repro.sim.kernel import kernel_names, set_default_kernel
 from repro.simulation.simulator import run_simulation
 from repro.units import HOUR
 from repro.workloads.apex import apex_workload
@@ -90,6 +91,16 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         help="spool lease expiry before an abandoned task is reclaimed; each "
         "claim is judged by the TTL its claiming worker recorded, so this "
         "only governs claims with no metadata (spool backend, default 60)",
+    )
+    _add_kernel_argument(sub)
+
+
+def _add_kernel_argument(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="simulator kernel: 'python' (reference) or 'numpy' (batched "
+        "fast path); kernels are float-for-float equivalent, so this only "
+        "changes wall-clock (default: python, or $REPRO_SIM_KERNEL)",
     )
 
 
@@ -153,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--horizon-days", type=float, default=6.0)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--fixed-period-hours", type=float, default=1.0)
+    _add_kernel_argument(sim)
 
     fig1 = sub.add_parser("figure1", help="waste ratio vs. bandwidth (Cielo)")
     fig1.add_argument("--num-runs", type=int, default=3)
@@ -287,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the spool's task counts and exit (no work is claimed)",
     )
     worker.add_argument("--quiet", action="store_true", help="suppress per-task log lines")
+    _add_kernel_argument(worker)
 
     cache = sub.add_parser("cache", help="inspect and prune an on-disk result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -849,6 +862,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        kernel = getattr(args, "kernel", None)
+        if kernel is not None:
+            # Process-wide selection; also exported to the environment so
+            # worker processes spawned by the command inherit it.
+            set_default_kernel(kernel)
         output = _COMMANDS[args.command](args)
         print(output)
         return 0

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.platform.spec import PlatformSpec
+from repro.sim.kernel import SimulatorKernel, get_kernel
 
 __all__ = [
     "FAILURE_MODEL_KINDS",
@@ -147,10 +148,23 @@ class FailureTrace:
         return self._horizon / len(self._events)
 
     def between(self, start: float, end: float) -> "FailureTrace":
-        """Sub-trace of failures with ``start <= time < end``."""
-        selected = [e for e in self._events if start <= e.time < end]
-        shifted = [FailureEvent(time=e.time, node_id=e.node_id) for e in selected]
-        return FailureTrace(shifted, horizon=self._horizon)
+        """Sub-trace of failures with ``start <= time < end``, re-based to the window.
+
+        Event times are shifted by ``-start`` and the sub-trace horizon is
+        ``end - start``, so statistics over the window are consistent: a 30 s
+        window over a 100 s trace reports the MTBF observed *in those 30
+        seconds*, not the parent horizon divided by the window's count.
+        """
+        if end < start:
+            raise ConfigurationError(
+                f"between() window is empty or reversed (start={start}, end={end})"
+            )
+        shifted = [
+            FailureEvent(time=e.time - start, node_id=e.node_id)
+            for e in self._events
+            if start <= e.time < end
+        ]
+        return FailureTrace(shifted, horizon=end - start)
 
 
 def generate_failure_trace(
@@ -158,12 +172,16 @@ def generate_failure_trace(
     horizon_s: float,
     rng: np.random.Generator,
     model: FailureModel | None = None,
+    kernel: "SimulatorKernel | str | None" = None,
 ) -> FailureTrace:
     """Draw a failure trace for ``platform`` over ``[0, horizon_s]``.
 
     Inter-arrival times follow ``model`` (exponential by default) with mean
     ``platform.system_mtbf_s``; each failure is assigned a uniformly random
-    node id.
+    node id.  Gaps are drawn in blocks sized for the expected count
+    (``horizon / mean`` plus a margin) and the node assignments are
+    pre-materialised in one batched draw, so generation costs O(failures)
+    array work rather than one generator call per event.
 
     Parameters
     ----------
@@ -177,29 +195,20 @@ def generate_failure_trace(
     model:
         Inter-arrival distribution; ``None`` selects the exponential model
         and is bit-identical to the historical behaviour.
+    kernel:
+        Simulator kernel (name or instance) providing the gap-accumulation
+        implementation; ``None`` selects the process default.  Every kernel
+        consumes ``rng`` identically and returns identical floats (the
+        kernel equivalence contract), so the choice never changes the trace.
     """
     if horizon_s < 0.0:
         raise ConfigurationError("horizon_s must be non-negative")
     if model is None:
         model = FailureModel()
+    if not isinstance(kernel, SimulatorKernel):
+        kernel = get_kernel(kernel)
     mean = platform.system_mtbf_s
-    # Draw in blocks: the expected number of failures is horizon/mean, draw a
-    # comfortable margin then trim, topping up in the unlikely case the block
-    # does not reach the horizon.
-    expected = horizon_s / mean
-    times: list[float] = []
-    current = 0.0
-    block = max(16, int(expected * 1.5) + 16)
-    while current <= horizon_s:
-        gaps = model.draw_gaps(rng, mean, block)
-        for gap in gaps:
-            current += float(gap)
-            if current > horizon_s:
-                break
-            times.append(current)
-        else:
-            continue
-        break
+    times = kernel.failure_times(model, rng, mean, horizon_s)
     node_ids = rng.integers(low=0, high=platform.num_nodes, size=len(times))
     events = [FailureEvent(time=t, node_id=int(n)) for t, n in zip(times, node_ids)]
     return FailureTrace(events, horizon=horizon_s)

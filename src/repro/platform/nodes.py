@@ -8,13 +8,25 @@ node was running.
 Allocation hands out the lowest-numbered free nodes.  The model does not
 capture network topology, so the identity of the nodes only matters for
 failure targeting; first-fit over node ids is sufficient and deterministic.
+
+Two implementations share this contract:
+
+* :class:`NodePool` — the pure-Python reference (sorted free list + set +
+  per-node owner dict), selected by the ``"python"`` simulator kernel;
+* :class:`ArrayNodePool` — a numpy boolean-mask pool whose allocate/release
+  are vectorised, selected by the ``"numpy"`` kernel.  On platform-sized
+  pools (thousands of nodes) the reference's O(nodes) list scan per
+  allocation dominates a simulation's wall-clock; the mask pool removes it
+  while handing out the exact same node ids.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import SchedulingError
 
-__all__ = ["NodePool"]
+__all__ = ["ArrayNodePool", "NodePool"]
 
 
 class NodePool:
@@ -118,3 +130,97 @@ class NodePool:
             raise SchedulingError(
                 f"node id {node_id} outside the pool [0, {self._num_nodes})"
             )
+
+
+class ArrayNodePool(NodePool):
+    """Vectorised :class:`NodePool`: free nodes as a numpy boolean mask.
+
+    Behaviour (returned node ids, raised errors, release semantics) is
+    identical to the reference pool — the kernel equivalence suite holds the
+    two to the same random operation sequences — but allocation of the
+    ``q`` lowest free ids is a single ``flatnonzero`` slice and releasing a
+    whole job is two fancy-indexed stores, so cost no longer scales with
+    per-node Python objects.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise SchedulingError("num_nodes must be positive")
+        self._num_nodes = num_nodes
+        self._free_mask = np.ones(num_nodes, dtype=bool)
+        self._owners = np.empty(num_nodes, dtype=object)  # None when free
+        # id(owner) -> (owner, sorted list of owned node ids).  The tuple
+        # keeps a strong reference to the owner so its id() stays valid for
+        # the lifetime of the allocation.
+        self._owned: dict[int, tuple[object, list[int]]] = {}
+        self._num_free = num_nodes
+
+    # ------------------------------------------------------------ queries
+    @property
+    def num_free(self) -> int:
+        return self._num_free
+
+    @property
+    def num_allocated(self) -> int:
+        return self._num_nodes - self._num_free
+
+    def owner_of(self, node_id: int) -> object | None:
+        self._check_node(node_id)
+        return self._owners[node_id]
+
+    def nodes_of(self, owner: object) -> list[int]:
+        entry = self._owned.get(id(owner))
+        return list(entry[1]) if entry is not None else []
+
+    # ------------------------------------------------------------ mutation
+    def allocate(self, count: int, owner: object) -> list[int]:
+        if count <= 0:
+            raise SchedulingError("cannot allocate a non-positive number of nodes")
+        if count > self._num_free:
+            raise SchedulingError(
+                f"cannot allocate {count} nodes: only {self._num_free} free"
+            )
+        ids = np.flatnonzero(self._free_mask)[:count]
+        self._free_mask[ids] = False
+        # A 0-d object wrapper broadcasts the owner itself into every slot,
+        # even when the owner happens to be iterable.
+        boxed = np.empty((), dtype=object)
+        boxed[()] = owner
+        self._owners[ids] = boxed
+        allocated = ids.tolist()
+        key = id(owner)
+        entry = self._owned.get(key)
+        if entry is None:
+            self._owned[key] = (owner, list(allocated))
+        else:
+            # Insertion order, matching the reference pool's owner dict.
+            self._owned[key] = (owner, entry[1] + allocated)
+        self._num_free -= count
+        return allocated
+
+    def release(self, node_ids: list[int]) -> None:
+        for node in node_ids:
+            self._check_node(node)
+            if self._free_mask[node]:
+                raise SchedulingError(f"node {node} is already free")
+            owner = self._owners[node]
+            self._owners[node] = None
+            self._free_mask[node] = True
+            self._num_free += 1
+            key = id(owner)
+            entry = self._owned.get(key)
+            if entry is not None:
+                entry[1].remove(node)
+                if not entry[1]:
+                    del self._owned[key]
+
+    def release_owner(self, owner: object) -> list[int]:
+        entry = self._owned.pop(id(owner), None)
+        if entry is None:
+            return []
+        ids = entry[1]
+        arr = np.asarray(ids, dtype=np.intp)
+        self._free_mask[arr] = True
+        self._owners[arr] = None
+        self._num_free += len(ids)
+        return ids

@@ -110,16 +110,12 @@ class SimulationEngine:
         self._running = True
         self._stopped = False
         try:
+            pop_next_until = self._queue.pop_next_until
             while True:
                 if self._stopped:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop_next()
-                if event is None:  # pragma: no cover - peek said otherwise
+                event = pop_next_until(until)
+                if event is None:
                     break
                 if event.time < self._now:
                     raise SimulationError(

@@ -1,29 +1,41 @@
 """Event handles and the time-ordered event queue of the DES engine.
 
-Events are callbacks scheduled at an absolute simulation time.  Cancellation
-is *lazy*: a cancelled event stays in the heap but is skipped when popped,
-which keeps both scheduling and cancellation O(log n) / O(1).
+Events are callbacks scheduled at an absolute simulation time.  The heap is
+*slot-free*: entries are plain ``(time, seq, event)`` tuples, so ordering
+them costs two scalar comparisons instead of a dataclass ``__lt__`` call,
+and the :class:`Event` handle itself never needs to be comparable.
+
+Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
+when popped, which keeps both scheduling and cancellation O(log n) / O(1).
+When lazily-cancelled entries outnumber the live ones the queue compacts
+itself (drops every cancelled tuple and re-heapifies), so a workload that
+cancels most of what it schedules cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 
 __all__ = ["Event", "EventQueue"]
 
+#: Compaction is considered only above this heap size; below it the wasted
+#: tuples are too few to matter and re-heapifying would cost more than it
+#: saves.
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.
 
-    Events are ordered by ``(time, seq)``: two events scheduled for the same
+    Events fire in ``(time, seq)`` order: two events scheduled for the same
     instant fire in scheduling order, which makes runs deterministic for a
-    given seed.
+    given seed.  The ordering lives in the queue's heap keys; the handle
+    itself is deliberately not orderable.
 
     Attributes
     ----------
@@ -39,17 +51,26 @@ class Event:
         Optional human-readable tag, useful when tracing a simulation.
     cancelled:
         True when the event has been cancelled and must not fire.
+    fired:
+        True once the event has been popped by the queue; cancelling a
+        fired event is a no-op.
     """
 
     time: float
     seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    callback: Callable[..., None]
+    args: tuple[Any, ...] = ()
+    label: str = ""
+    cancelled: bool = False
+    fired: bool = False
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped by the queue."""
+        """Mark the event as cancelled; it will be skipped by the queue.
+
+        Prefer :meth:`EventQueue.cancel` (or
+        :meth:`~repro.sim.engine.SimulationEngine.cancel`), which also keeps
+        the queue's active-event count correct.
+        """
         self.cancelled = True
 
     @property
@@ -59,17 +80,20 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by firing time.
+    """Min-heap of ``(time, seq, Event)`` tuples ordered by firing time.
 
-    The queue is intentionally minimal: ``push``, ``pop_next`` (skipping
-    cancelled entries), ``peek_time`` and ``__len__`` (counting only active
-    events).
+    The queue is intentionally minimal: ``push``, ``pop_next`` /
+    ``pop_next_until`` (skipping cancelled entries), ``peek_time`` and
+    ``__len__`` (counting only active events).
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
         self._active = 0
+        # Cancelled events still sitting in the heap (lazy cancellation);
+        # drives the compaction heuristic.
+        self._lazy = 0
 
     def __len__(self) -> int:
         return self._active
@@ -87,36 +111,76 @@ class EventQueue:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         if not (time == time):  # NaN check without importing math
             raise SimulationError("event time must not be NaN")
-        event = Event(time=time, seq=next(self._counter), callback=callback, args=args, label=label)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time=time, seq=seq, callback=callback, args=args, label=label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._active += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancel()
-            self._active -= 1
+        """Cancel a previously pushed event.
+
+        Idempotent, and a no-op for events that already fired: a stale
+        handle kept around after :meth:`pop_next` returned the event must
+        not corrupt the active-event count.
+        """
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._active -= 1
+        self._lazy += 1
+        self._maybe_compact()
 
     def pop_next(self) -> Event | None:
         """Pop and return the earliest active event, or ``None`` when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        return self.pop_next_until(None)
+
+    def pop_next_until(self, until: float | None) -> Event | None:
+        """Pop the earliest active event firing at or before ``until``.
+
+        Returns ``None`` when the queue is empty or when every remaining
+        active event fires strictly after ``until`` (the queue is left
+        untouched in that case).  ``None`` as the horizon means "no limit".
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heap[0]
             if event.cancelled:
+                heapq.heappop(heap)
+                if self._lazy > 0:
+                    self._lazy -= 1
                 continue
+            if until is not None and time > until:
+                return None
+            heapq.heappop(heap)
+            event.fired = True
             self._active -= 1
             return event
         return None
 
     def peek_time(self) -> float | None:
         """Firing time of the earliest active event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            if self._lazy > 0:
+                self._lazy -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
         self._active = 0
+        self._lazy = 0
+
+    def _maybe_compact(self) -> None:
+        """Drop lazily-cancelled tuples when they dominate the heap."""
+        heap = self._heap
+        if len(heap) < _COMPACT_MIN_HEAP or self._lazy <= self._active:
+            return
+        self._heap = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._lazy = 0

@@ -1,0 +1,250 @@
+"""Simulator kernels: selectable hot-path implementations.
+
+A *kernel* bundles the per-seed hot-path implementations of the simulator —
+how failure inter-arrival times are accumulated into a trace, which node-pool
+data structure backs the space-shared allocator, and how a job's phase
+schedule (regular-I/O milestones) is materialised.  Kernels are selected by
+name exactly like execution backends (:func:`repro.exec.runner.register_backend`):
+
+* ``"python"`` — the pure-Python reference implementations.  This is the
+  default and the semantics every other kernel is measured against.
+* ``"numpy"`` — the batched fast path: failure gaps are accumulated with one
+  vectorised cumulative sum per block instead of one Python ``float`` add per
+  event, and node allocation runs on a boolean-mask
+  :class:`~repro.platform.nodes.ArrayNodePool` instead of per-node list
+  scans.
+
+**Equivalence contract** (recorded in README/ROADMAP): every kernel must
+produce float-for-float identical simulation results to the ``"python"``
+reference — same failure instants, same node ids, same waste ratios, same
+golden pins.  A kernel that changes any simulated float is a bug; it is
+*never* grounds for a ``DIGEST_VERSION`` bump.  The equivalence suite
+(``tests/test_kernel_equivalence.py``) enforces this in CI, which is why the
+kernel name is excluded from config digests: results do not depend on it.
+
+New kernels plug in through :func:`register_kernel`; the process-wide
+default is ``"python"`` unless overridden by :func:`set_default_kernel` or
+the ``REPRO_SIM_KERNEL`` environment variable (which worker processes
+inherit, so one knob accelerates a whole campaign).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.platform.failures import FailureModel
+    from repro.platform.nodes import NodePool
+
+__all__ = [
+    "SimulatorKernel",
+    "PythonKernel",
+    "NumpyKernel",
+    "default_kernel_name",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "set_default_kernel",
+]
+
+#: Environment variable consulted for the initial process-wide default.
+KERNEL_ENV_VAR = "REPRO_SIM_KERNEL"
+
+
+class SimulatorKernel:
+    """Base class of simulator kernels (the pure-Python reference).
+
+    Subclasses may override any hook, but every override must keep results
+    float-for-float identical to this class (see the module docstring); the
+    hooks exist to make the same arithmetic *faster*, never different.
+    """
+
+    #: Registry name of the kernel (set on subclasses).
+    name = "python"
+
+    # ---------------------------------------------------------- failure RNG
+    def failure_times(
+        self,
+        model: "FailureModel",
+        rng: np.random.Generator,
+        mean_s: float,
+        horizon_s: float,
+    ) -> list[float]:
+        """Accumulate inter-arrival gaps into failure instants in ``[0, horizon]``.
+
+        Gaps are drawn from ``model`` in blocks sized for the expected count
+        (consuming the random stream identically in every kernel: whole
+        blocks, then nothing else); the returned instants are the running
+        float64 sums that land inside the horizon.
+        """
+        expected = horizon_s / mean_s
+        block = _gap_block_size(expected)
+        times: list[float] = []
+        current = 0.0
+        while current <= horizon_s:
+            gaps = model.draw_gaps(rng, mean_s, block)
+            for gap in gaps:
+                current += float(gap)
+                if current > horizon_s:
+                    break
+                times.append(current)
+            else:
+                continue
+            break
+        return times
+
+    # ---------------------------------------------------------- node pool
+    def make_node_pool(self, num_nodes: int) -> "NodePool":
+        """Node-pool implementation backing the space-shared allocator."""
+        from repro.platform.nodes import NodePool
+
+        return NodePool(num_nodes)
+
+    # ---------------------------------------------------------- schedules
+    def milestone_offsets(self, total_work_s: float, chunks: int) -> list[float]:
+        """Work offsets (seconds of progress) of a job's regular-I/O chunks.
+
+        The ``k``-th of ``chunks`` transfers happens after
+        ``total_work_s * k / (chunks + 1)`` seconds of work, so the chunks
+        split the compute phase into equal parts.
+        """
+        return [total_work_s * k / (chunks + 1) for k in range(1, chunks + 1)]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"{self.name}: {type(self).__doc__.strip().splitlines()[0]}"
+
+
+class PythonKernel(SimulatorKernel):
+    """Pure-Python reference implementations (scalar loops, list/set pool)."""
+
+    name = "python"
+
+
+class NumpyKernel(SimulatorKernel):
+    """Batched fast path: cumsum'd failure gaps and a mask-based node pool."""
+
+    name = "numpy"
+
+    def failure_times(
+        self,
+        model: "FailureModel",
+        rng: np.random.Generator,
+        mean_s: float,
+        horizon_s: float,
+    ) -> list[float]:
+        # Bit-identical to the reference: numpy's float64 ``cumsum`` is the
+        # same strictly-sequential chain of additions the scalar loop
+        # performs (accumulated from 0.0 across block boundaries), and the
+        # blocks drawn from ``rng`` are the same size in the same order.
+        expected = horizon_s / mean_s
+        block = _gap_block_size(expected)
+        blocks: list[np.ndarray] = []
+        while True:
+            blocks.append(model.draw_gaps(rng, mean_s, block))
+            cumulative = np.cumsum(blocks[0] if len(blocks) == 1 else np.concatenate(blocks))
+            # Gaps are non-negative, so the running sum is monotone: once it
+            # exceeds the horizon the reference loop stops consuming (it has
+            # already drawn the whole block) — but when a block ends exactly
+            # *at* or below the horizon the reference draws another one.
+            if cumulative[-1] > horizon_s:
+                break
+        return cumulative[cumulative <= horizon_s].tolist()
+
+    def make_node_pool(self, num_nodes: int) -> "NodePool":
+        from repro.platform.nodes import ArrayNodePool
+
+        return ArrayNodePool(num_nodes)
+
+    def milestone_offsets(self, total_work_s: float, chunks: int) -> list[float]:
+        if chunks <= 0:
+            return []
+        # (total * k) / (chunks + 1) elementwise: the same two float64 ops,
+        # in the same order, as the reference list comprehension.
+        return ((total_work_s * np.arange(1, chunks + 1)) / (chunks + 1)).tolist()
+
+
+def _gap_block_size(expected: float) -> int:
+    """Shared block-sizing rule: a comfortable margin over the expected count."""
+    return max(16, int(expected * 1.5) + 16)
+
+
+# ------------------------------------------------------------------ registry
+_KERNEL_FACTORIES: dict[str, Callable[[], SimulatorKernel]] = {
+    "python": PythonKernel,
+    "numpy": NumpyKernel,
+}
+
+_DEFAULT_KERNEL: str | None = None  # resolved lazily (env var, else "python")
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Names of every currently registered simulator kernel."""
+    return tuple(_KERNEL_FACTORIES)
+
+
+def register_kernel(
+    name: str,
+    factory: Callable[[], SimulatorKernel],
+    *,
+    replace_existing: bool = False,
+) -> None:
+    """Register a simulator kernel under ``name``.
+
+    ``factory`` takes no arguments and returns a :class:`SimulatorKernel`.
+    Registering an existing name requires ``replace_existing=True`` so typos
+    don't silently shadow built-ins.  The registered kernel is bound by the
+    equivalence contract: float-for-float identical results to ``"python"``.
+    """
+    if not name:
+        raise ConfigurationError("kernel name must be non-empty")
+    if name in _KERNEL_FACTORIES and not replace_existing:
+        raise ConfigurationError(
+            f"kernel {name!r} is already registered "
+            "(pass replace_existing=True to replace it)"
+        )
+    _KERNEL_FACTORIES[name] = factory
+
+
+def default_kernel_name() -> str:
+    """The process-wide default kernel name (not validated until used)."""
+    if _DEFAULT_KERNEL is not None:
+        return _DEFAULT_KERNEL
+    return os.environ.get(KERNEL_ENV_VAR, "python")
+
+
+def set_default_kernel(name: str) -> None:
+    """Set the process-wide default kernel (used when a config names none).
+
+    Also exports :data:`KERNEL_ENV_VAR` so worker processes spawned later
+    (process pools, spool workers started from this process) inherit the
+    selection.
+    """
+    if name not in _KERNEL_FACTORIES:
+        raise ConfigurationError(_unknown_kernel_message(name))
+    global _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = name
+    os.environ[KERNEL_ENV_VAR] = name
+
+
+def get_kernel(name: str | None = None) -> SimulatorKernel:
+    """Build the kernel registered under ``name`` (``None`` = the default)."""
+    if name is None:
+        name = default_kernel_name()
+    factory = _KERNEL_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(_unknown_kernel_message(name))
+    return factory()
+
+
+def _unknown_kernel_message(name: str) -> str:
+    known = ", ".join(sorted(_KERNEL_FACTORIES))
+    suggestions = difflib.get_close_matches(name, _KERNEL_FACTORIES, n=1)
+    hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+    return f"unknown simulator kernel {name!r} (known kernels: {known}){hint}"

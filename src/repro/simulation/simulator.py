@@ -37,6 +37,7 @@ from repro.platform.nodes import NodePool
 from repro.platform.spec import PlatformSpec
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event
+from repro.sim.kernel import get_kernel
 from repro.sim.rng import RandomStreams
 from repro.simulation.accounting import Accounting, Category
 from repro.simulation.config import SimulationConfig
@@ -59,7 +60,13 @@ _MIN_CHECKPOINT_GAP_S = 1.0
 
 @dataclass
 class _JobContext:
-    """Per-running-job runtime bookkeeping owned by the simulation."""
+    """Per-running-job runtime bookkeeping owned by the simulation.
+
+    The phase schedule (regular-I/O milestones, checkpoint period and the
+    post-checkpoint re-request delay) is computed once when the job enters
+    its compute phase and read from here afterwards, instead of re-deriving
+    the same floats on every checkpoint/progress event.
+    """
 
     job: Job
     allocated_at: float
@@ -72,6 +79,11 @@ class _JobContext:
     milestones: list[float] = field(default_factory=list)
     milestone_index: int = 0
     regular_chunk_bytes: float = 0.0
+    #: Desired checkpoint period P (seconds), fixed per job.
+    checkpoint_period_s: float = 0.0
+    #: Delay between a checkpoint completion and the next request,
+    #: ``max(P - C, minimum gap)`` (§2's first-order scheduling rule).
+    checkpoint_redo_delay_s: float = _MIN_CHECKPOINT_GAP_S
 
 
 class Simulation:
@@ -89,6 +101,9 @@ class Simulation:
         self.strategy: Strategy = make_strategy(
             config.strategy, fixed_period_s=config.fixed_period_s
         )
+        #: Hot-path implementation bundle; kernels are float-for-float
+        #: equivalent by contract, so this only changes wall-clock.
+        self.kernel = get_kernel(config.kernel)
         self.streams = RandomStreams(config.seed)
         self.engine = SimulationEngine(max_events=config.max_events)
         self.io = IOSubsystem(
@@ -99,7 +114,7 @@ class Simulation:
         self.io_sched: IOScheduler = self.strategy.make_scheduler(
             self.engine, self.io, self.platform.node_mtbf_s
         )
-        self.pool = NodePool(self.platform.num_nodes)
+        self.pool: NodePool = self.kernel.make_node_pool(self.platform.num_nodes)
         self.job_sched = FirstFitScheduler(self.pool)
         window_start, window_end = config.measurement_window
         # Trace runs also keep per-job ledgers (the waste drill-down input);
@@ -120,6 +135,7 @@ class Simulation:
                 config.horizon_s,
                 self.streams.get("failures"),
                 model=config.failure_model,
+                kernel=self.kernel,
             )
         self.failure_trace = failure_trace
 
@@ -216,17 +232,22 @@ class Simulation:
         job.state = JobState.COMPUTING
         job.last_capture_time = now
 
-        # Plan the regular (non-checkpoint) I/O chunks, if any.
+        # Precompute the job's whole phase schedule once: the regular-I/O
+        # milestones and both checkpoint delays are pure functions of the
+        # job and platform, so no later event needs to re-derive them.
         chunks = self.config.routine_io_chunks
         if job.routine_io_bytes > 0.0 and chunks > 0:
             context.regular_chunk_bytes = job.routine_io_bytes / chunks
-            context.milestones = [
-                job.total_work_s * k / (chunks + 1) for k in range(1, chunks + 1)
-            ]
+            context.milestones = self.kernel.milestone_offsets(job.total_work_s, chunks)
         context.milestone_index = 0
+        period = self.strategy.policy.period(job.app_class, self.platform)
+        commit = job.app_class.checkpoint_time(self.platform.io_bandwidth_bytes_per_s)
+        context.checkpoint_period_s = period
+        # Next request P - C after each completion (first-order scheduling
+        # rule of §2), never less than a small positive gap.
+        context.checkpoint_redo_delay_s = max(period - commit, _MIN_CHECKPOINT_GAP_S)
 
         # First checkpoint is requested a full period after compute starts.
-        period = self.strategy.policy.period(job.app_class, self.platform)
         context.checkpoint_due_event = self.engine.schedule(
             period, self._checkpoint_due, job, label="checkpoint-due"
         )
@@ -351,13 +372,8 @@ class Simulation:
             waited=request.waited,
         )
 
-        # Next request P - C after this completion (first-order scheduling
-        # rule of §2), never less than a small positive gap.
-        period = self.strategy.policy.period(job.app_class, self.platform)
-        commit = job.app_class.checkpoint_time(self.platform.io_bandwidth_bytes_per_s)
-        delay = max(period - commit, _MIN_CHECKPOINT_GAP_S)
         context.checkpoint_due_event = self.engine.schedule(
-            delay, self._checkpoint_due, job, label="checkpoint-due"
+            context.checkpoint_redo_delay_s, self._checkpoint_due, job, label="checkpoint-due"
         )
         self._maybe_resume(job)
 

@@ -1,0 +1,248 @@
+"""Kernel equivalence suite (repro.sim.kernel).
+
+Every registered simulator kernel is bound by the float-for-float
+equivalence contract: identical failure instants, identical node-pool
+decisions, identical milestone offsets and — end to end — identical
+simulation results to the ``"python"`` reference.  A kernel that moves any
+float is a bug, never grounds for a ``DIGEST_VERSION`` bump; this suite is
+what CI runs to enforce that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.platform.failures import FailureModel, generate_failure_trace
+from repro.platform.nodes import ArrayNodePool, NodePool
+from repro.sim.kernel import (
+    KERNEL_ENV_VAR,
+    NumpyKernel,
+    PythonKernel,
+    SimulatorKernel,
+    default_kernel_name,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    set_default_kernel,
+)
+from repro.simulation.simulator import Simulation
+from repro.units import DAY
+
+ALL_KERNELS = sorted(kernel_names())
+FAST_KERNELS = [name for name in ALL_KERNELS if name != "python"]
+
+
+# ------------------------------------------------------------------ registry
+def test_builtin_kernels_are_registered():
+    assert {"python", "numpy"} <= set(kernel_names())
+    assert isinstance(get_kernel("python"), PythonKernel)
+    assert isinstance(get_kernel("numpy"), NumpyKernel)
+
+
+def test_default_kernel_is_python_without_overrides(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    monkeypatch.setattr("repro.sim.kernel._DEFAULT_KERNEL", None)
+    assert default_kernel_name() == "python"
+    assert isinstance(get_kernel(), PythonKernel)
+
+
+def test_env_var_selects_the_default_kernel(monkeypatch):
+    monkeypatch.setattr("repro.sim.kernel._DEFAULT_KERNEL", None)
+    monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+    assert default_kernel_name() == "numpy"
+    assert isinstance(get_kernel(), NumpyKernel)
+
+
+def test_set_default_kernel_validates_and_exports(monkeypatch):
+    monkeypatch.setattr("repro.sim.kernel._DEFAULT_KERNEL", None)
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    set_default_kernel("numpy")
+    assert default_kernel_name() == "numpy"
+    # Exported so spawned workers inherit the selection.
+    import os
+
+    assert os.environ[KERNEL_ENV_VAR] == "numpy"
+    with pytest.raises(ConfigurationError):
+        set_default_kernel("no-such-kernel")
+
+
+def test_unknown_kernel_gets_a_did_you_mean():
+    with pytest.raises(ConfigurationError, match=r"did you mean 'numpy'\?"):
+        get_kernel("nunpy")
+    with pytest.raises(ConfigurationError, match="known kernels"):
+        get_kernel("fortran")
+
+
+def test_register_kernel_rejects_duplicates(monkeypatch):
+    import repro.sim.kernel as kernel_mod
+
+    monkeypatch.setattr(kernel_mod, "_KERNEL_FACTORIES", dict(kernel_mod._KERNEL_FACTORIES))
+
+    class MyKernel(SimulatorKernel):
+        name = "mine"
+
+    register_kernel("mine", MyKernel)
+    assert "mine" in kernel_names()
+    assert isinstance(get_kernel("mine"), MyKernel)
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_kernel("mine", MyKernel)
+    register_kernel("mine", SimulatorKernel, replace_existing=True)
+    with pytest.raises(ConfigurationError):
+        register_kernel("", MyKernel)
+
+
+def test_config_digest_ignores_the_kernel(tiny_config):
+    from repro.exec.digest import config_digest
+
+    config = tiny_config()
+    assert config_digest(config.with_kernel("numpy")) == config_digest(
+        config.with_kernel(None)
+    )
+
+
+# ----------------------------------------------------- failure-time batches
+MODELS = [FailureModel(), FailureModel(kind="weibull", shape=0.7)]
+HORIZONS = [0.0, 3.0 * DAY, 200.0 * DAY]
+
+
+@pytest.mark.parametrize("fast", FAST_KERNELS)
+@pytest.mark.parametrize("model", MODELS, ids=repr)
+@pytest.mark.parametrize("horizon", HORIZONS)
+def test_failure_times_match_the_reference(fast, model, horizon):
+    reference = get_kernel("python")
+    candidate = get_kernel(fast)
+    mean_s = 2.0 * 3600.0
+    a = reference.failure_times(model, np.random.default_rng(7), mean_s, horizon)
+    b = candidate.failure_times(model, np.random.default_rng(7), mean_s, horizon)
+    assert a == b  # exact float equality, not approx
+    assert all(isinstance(t, float) for t in b)
+
+
+@pytest.mark.parametrize("fast", FAST_KERNELS)
+def test_kernels_consume_the_random_stream_identically(fast, tiny_platform):
+    # After trace generation both kernels must leave the generator in the
+    # same state, so everything drawn afterwards (node ids, workload jitter)
+    # matches too.  generate_failure_trace draws node ids after the gaps,
+    # which only line up if the gap blocks did.
+    a = generate_failure_trace(
+        tiny_platform, 60 * DAY, np.random.default_rng(3), kernel="python"
+    )
+    b = generate_failure_trace(
+        tiny_platform, 60 * DAY, np.random.default_rng(3), kernel=fast
+    )
+    assert list(a.times) == list(b.times)
+    assert list(a.node_ids) == list(b.node_ids)
+    assert a.horizon == b.horizon
+
+
+# ------------------------------------------------------------- milestones
+@pytest.mark.parametrize("fast", FAST_KERNELS)
+@given(
+    total=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    chunks=st.integers(min_value=0, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_milestone_offsets_match_the_reference(fast, total, chunks):
+    reference = get_kernel("python").milestone_offsets(total, chunks)
+    candidate = get_kernel(fast).milestone_offsets(total, chunks)
+    assert reference == candidate
+    assert all(isinstance(x, float) for x in candidate)
+
+
+# ------------------------------------------------------------- node pools
+class _PoolMirror:
+    """Drives a reference NodePool and an ArrayNodePool in lock-step."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.reference = NodePool(num_nodes)
+        self.candidate = ArrayNodePool(num_nodes)
+        self.owners: list[object] = []
+
+    def step(self, op: tuple) -> None:
+        results = []
+        for pool in (self.reference, self.candidate):
+            try:
+                results.append(("ok", self._apply(pool, op)))
+            except SchedulingError as exc:
+                results.append(("err", str(exc)))
+        assert results[0] == results[1], f"divergence on {op!r}"
+        assert self.reference.num_free == self.candidate.num_free
+        assert self.reference.num_allocated == self.candidate.num_allocated
+
+    def _apply(self, pool: NodePool, op: tuple):
+        kind = op[0]
+        if kind == "alloc":
+            _, count, owner_idx = op
+            while owner_idx >= len(self.owners):
+                self.owners.append(f"owner-{len(self.owners)}")
+            return list(pool.allocate(count, self.owners[owner_idx]))
+        if kind == "release_owner":
+            if not self.owners:
+                return None
+            return list(pool.release_owner(self.owners[op[1] % len(self.owners)]))
+        if kind == "release":
+            # Release the first half of some owner's nodes (partial release).
+            if not self.owners:
+                return None
+            nodes = pool.nodes_of(self.owners[op[1] % len(self.owners)])
+            half = list(nodes)[: max(1, len(nodes) // 2)] if nodes else []
+            if not half:
+                return []
+            pool.release(half)
+            return list(half)
+        if kind == "inspect":
+            if not self.owners:
+                return None
+            owner = self.owners[op[1] % len(self.owners)]
+            nodes = list(pool.nodes_of(owner))
+            owners = [type(pool.owner_of(n)).__name__ for n in nodes]
+            return (nodes, owners, pool.can_allocate(op[2]))
+        raise AssertionError(kind)
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 6), st.integers(0, 4)),
+            st.tuples(st.just("release_owner"), st.integers(0, 4)),
+            st.tuples(st.just("release"), st.integers(0, 4)),
+            st.tuples(st.just("inspect"), st.integers(0, 4), st.integers(-1, 8)),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_array_node_pool_mirrors_the_reference(ops):
+    mirror = _PoolMirror(12)
+    for op in ops:
+        mirror.step(op)
+
+
+# ------------------------------------------------------------- end to end
+def _preset_configs(preset: str, kernel: str):
+    from repro.scenarios.presets import make_campaign
+
+    configs = []
+    for scenario in make_campaign(preset).scenarios():
+        for config in scenario.configs():
+            configs.append(config.with_kernel(kernel))
+    return configs
+
+
+@pytest.mark.parametrize("fast", FAST_KERNELS)
+@pytest.mark.parametrize("preset", ["smoke", "period-sweep"])
+def test_presets_are_float_identical_across_kernels(fast, preset):
+    """Smoke + period-sweep presets, full results compared field by field."""
+    for ref_cfg, fast_cfg in zip(
+        _preset_configs(preset, "python"), _preset_configs(preset, fast)
+    ):
+        reference = Simulation(ref_cfg).run()
+        candidate = Simulation(fast_cfg).run()
+        assert reference == candidate, (
+            f"kernel {fast!r} diverged from the reference on "
+            f"{preset!r} / {ref_cfg.strategy!r}"
+        )

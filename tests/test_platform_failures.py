@@ -32,11 +32,33 @@ def test_empirical_mtbf():
     assert FailureTrace([], horizon=10.0).empirical_mtbf() == float("inf")
 
 
-def test_between_filters_by_time():
+def test_between_filters_by_time_and_rebases_to_the_window():
     events = [FailureEvent(float(t), t) for t in range(10)]
     trace = FailureTrace(events, horizon=20.0)
     window = trace.between(3.0, 6.0)
-    assert [e.time for e in window] == [3.0, 4.0, 5.0]
+    # Times are shifted by -start; node ids identify the original failures.
+    assert [e.time for e in window] == [0.0, 1.0, 2.0]
+    assert [e.node_id for e in window] == [3, 4, 5]
+    assert window.horizon == 3.0
+
+
+def test_between_empirical_mtbf_uses_the_window_length():
+    # Regression: the sub-trace used to keep the parent's full horizon, so a
+    # 30 s window over a 100 s trace reported MTBF 50 s instead of 15 s.
+    events = [FailureEvent(10.0, 0), FailureEvent(25.0, 1)]
+    trace = FailureTrace(events, horizon=100.0)
+    window = trace.between(0.0, 30.0)
+    assert len(window) == 2
+    assert window.horizon == 30.0
+    assert window.empirical_mtbf() == pytest.approx(15.0)
+    # An empty window still reports over its own length (inf, not parent's).
+    assert trace.between(40.0, 70.0).empirical_mtbf() == float("inf")
+
+
+def test_between_rejects_reversed_windows():
+    trace = FailureTrace([FailureEvent(1.0, 0)], horizon=10.0)
+    with pytest.raises(ConfigurationError):
+        trace.between(6.0, 3.0)
 
 
 def test_numpy_views():

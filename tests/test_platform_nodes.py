@@ -5,27 +5,33 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SchedulingError
-from repro.platform.nodes import NodePool
+from repro.platform.nodes import ArrayNodePool, NodePool
 
 
-def test_initial_state():
-    pool = NodePool(8)
+@pytest.fixture(params=[NodePool, ArrayNodePool], ids=["reference", "array"])
+def pool_cls(request):
+    """Both pool implementations must satisfy the same contract."""
+    return request.param
+
+
+def test_initial_state(pool_cls):
+    pool = pool_cls(8)
     assert pool.num_nodes == 8
     assert pool.num_free == 8
     assert pool.num_allocated == 0
     assert pool.utilization == 0.0
 
 
-def test_allocate_lowest_numbered_nodes_first():
-    pool = NodePool(8)
+def test_allocate_lowest_numbered_nodes_first(pool_cls):
+    pool = pool_cls(8)
     owner = object()
     assert pool.allocate(3, owner) == [0, 1, 2]
     assert pool.num_free == 5
     assert pool.utilization == pytest.approx(3 / 8)
 
 
-def test_owner_tracking_and_release():
-    pool = NodePool(8)
+def test_owner_tracking_and_release(pool_cls):
+    pool = pool_cls(8)
     a, b = object(), object()
     nodes_a = pool.allocate(2, a)
     nodes_b = pool.allocate(3, b)
@@ -37,8 +43,8 @@ def test_owner_tracking_and_release():
     assert pool.num_free == 8 - 3
 
 
-def test_release_owner_releases_everything_and_reports_it():
-    pool = NodePool(8)
+def test_release_owner_releases_everything_and_reports_it(pool_cls):
+    pool = pool_cls(8)
     owner = object()
     nodes = pool.allocate(4, owner)
     released = pool.release_owner(owner)
@@ -48,8 +54,8 @@ def test_release_owner_releases_everything_and_reports_it():
     assert pool.release_owner(owner) == []
 
 
-def test_released_nodes_are_reused():
-    pool = NodePool(4)
+def test_released_nodes_are_reused(pool_cls):
+    pool = pool_cls(4)
     a = object()
     nodes = pool.allocate(4, a)
     pool.release(nodes[:2])
@@ -57,8 +63,8 @@ def test_released_nodes_are_reused():
     assert pool.allocate(2, b) == nodes[:2]
 
 
-def test_cannot_overallocate():
-    pool = NodePool(4)
+def test_cannot_overallocate(pool_cls):
+    pool = pool_cls(4)
     pool.allocate(3, object())
     assert not pool.can_allocate(2)
     assert pool.can_allocate(1)
@@ -66,8 +72,8 @@ def test_cannot_overallocate():
         pool.allocate(2, object())
 
 
-def test_invalid_operations_rejected():
-    pool = NodePool(4)
+def test_invalid_operations_rejected(pool_cls):
+    pool = pool_cls(4)
     with pytest.raises(SchedulingError):
         pool.allocate(0, object())
     with pytest.raises(SchedulingError):
@@ -75,10 +81,10 @@ def test_invalid_operations_rejected():
     with pytest.raises(SchedulingError):
         pool.owner_of(99)
     with pytest.raises(SchedulingError):
-        NodePool(0)
+        pool_cls(0)
 
 
-def test_can_allocate_rejects_non_positive_counts():
-    pool = NodePool(4)
+def test_can_allocate_rejects_non_positive_counts(pool_cls):
+    pool = pool_cls(4)
     assert not pool.can_allocate(0)
     assert not pool.can_allocate(-2)

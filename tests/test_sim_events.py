@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.events import EventQueue
@@ -87,3 +89,74 @@ def test_event_active_flag():
     assert event.active
     queue.cancel(event)
     assert not event.active
+
+
+def test_cancel_after_fire_is_a_noop_regression():
+    # Regression: cancelling an event that already fired used to decrement
+    # the active count below zero, corrupting ``len(queue)`` and
+    # ``pending_events`` for every later scheduling decision.
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    fired = queue.pop_next()
+    assert fired is first and fired.fired
+    assert len(queue) == 1
+    queue.cancel(fired)  # must be a no-op
+    assert len(queue) == 1
+    assert queue.pop_next() is not None
+    assert len(queue) == 0
+    queue.cancel(fired)  # still a no-op on an empty queue
+    assert len(queue) == 0
+
+
+def test_pop_next_until_respects_the_bound():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    late = queue.push(5.0, lambda: None)
+    assert queue.pop_next_until(2.0).time == 1.0
+    # The bound leaves later events untouched on the heap.
+    assert queue.pop_next_until(2.0) is None
+    assert queue.pop_next_until(2.0) is None
+    assert queue.pop_next_until(5.0) is late
+
+
+def test_heap_compaction_drops_cancelled_entries():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(200)]
+    for event in events[:-1]:
+        queue.cancel(event)
+    # Lazily-cancelled entries dominated, so the heap was compacted down to
+    # the single live event instead of carrying 199 tombstones.
+    assert len(queue) == 1
+    assert len(queue._heap) < 200
+    assert queue.pop_next() is events[-1]
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.floats(0.0, 100.0, allow_nan=False)),
+            st.tuples(st.just("pop")),
+            st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_active_count_matches_live_heap_entries(ops):
+    """Invariant: ``_active`` == number of uncancelled events on the heap."""
+    queue = EventQueue()
+    seen = []  # every event ever created (fired, cancelled or pending)
+    for op in ops:
+        if op[0] == "push":
+            seen.append(queue.push(op[1], lambda: None))
+        elif op[0] == "pop":
+            event = queue.pop_next()
+            if event is not None:
+                assert not event.cancelled
+                assert event.fired
+        elif op[0] == "cancel" and seen:
+            queue.cancel(seen[op[1] % len(seen)])
+        live = [entry[2] for entry in queue._heap if not entry[2].cancelled]
+        assert queue._active == len(live) == len(queue)
+        assert all(not event.fired for event in live)
