@@ -1,12 +1,21 @@
-"""Distributed-spool bench: process pool vs. a 2-worker filesystem spool.
+"""Distributed-spool bench: overhead vs. a pool, and the saturation curve.
 
-Runs the same batch of campaign cells (the smoke matrix on the miniature
-Cielo) through the ``"process"`` backend and through the ``"spool"`` backend
-drained by two real ``coopckpt worker`` subprocesses, asserting bit-identical
-results and reporting both throughputs.  The spool carries per-task spec
-files, lease heartbeats and cache polling, so some overhead over a local
-pool is expected — the point of the spool is scaling *across machines*, and
-this bench quantifies what that generality costs on one box.
+Three measurements on the smoke matrix (miniature Cielo):
+
+* ``test_bench_spool_vs_process_throughput`` — the same campaign through a
+  local process pool and through a spool drained by two real ``coopckpt
+  worker`` subprocesses: what the spool's generality costs on one box.
+* ``test_bench_spool_resume_is_pure_cache_replay`` — a drained spool's
+  re-submission must be pure cache traffic.
+* ``test_bench_spool_saturation_curve`` — worker fleets of 1/2/4/8 drain
+  an identical pre-filled spool under an injected parallel-filesystem
+  latency model (every spool ``rename`` — claim, ack — sleeps a fixed
+  ``DELAY_S``, exactly what a loaded PFS metadata server does).  Latency
+  overlaps across workers, so throughput must rise with the fleet: the
+  committed ``BENCH_distributed.json`` records the curve and the suite
+  asserts 8 workers ≥ 3x 1 worker.  Every leg's cache is verified
+  bit-identical to serial simulation — saturation never buys a different
+  float.
 
 Run with::
 
@@ -15,14 +24,19 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
+import threading
 import time
+from pathlib import Path
 
-from repro.distributed import WorkSpool
-from repro.exec import ParallelRunner
+from repro.distributed import SpoolWorker, WorkSpool, make_task_specs
+from repro.distributed import fsops
+from repro.exec import ParallelRunner, ResultCache, WasteRatioTask, config_digest
 from repro.scenarios.presets import make_campaign
 from repro.scenarios.runner import CampaignRunner
+from repro.stats.montecarlo import derive_seeds
 
 #: Worker count of both legs (process pool size and spool daemons).
 WORKERS = 2
@@ -131,3 +145,147 @@ def test_bench_spool_resume_is_pure_cache_replay(tmp_path):
         f"spool resume: {replay.stats.cache_hits / replay_s:,.0f} results/s "
         f"({replay_s * 1e3:.1f} ms total), zero spool traffic"
     )
+
+
+# ------------------------------------------------------------ saturation
+#: Fleet sizes of the saturation curve.
+WORKER_CURVE = (1, 2, 4, 8)
+
+#: Injected sleep per spool rename — the parallel-filesystem latency model.
+#: Sleeps release the GIL and overlap across worker threads, so the curve
+#: measures the spool's concurrency, not this machine's core count.
+DELAY_S = 0.06
+
+#: Seeds per campaign cell (one single-seed spec each: 8 cells x 4 specs).
+SAT_NUM_RUNS = 4
+SAT_HORIZON_DAYS = 0.25
+
+#: Where the committed saturation record lives (CI uploads it as artifact).
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_distributed.json"
+
+
+def _saturation_cells():
+    """The smoke matrix as (digest, strategy, seeds, specs) rows: each cell
+    is one digest — one spool shard — holding one spec per seed."""
+    campaign = make_campaign(
+        "smoke", num_runs=SAT_NUM_RUNS, horizon_days=SAT_HORIZON_DAYS
+    )
+    cells = []
+    for scenario in campaign.scenarios():
+        seeds = derive_seeds(scenario.base_seed, scenario.num_runs)
+        for strategy in scenario.strategies:
+            config = scenario.config(strategy)
+            digest = config_digest(config)
+            specs = make_task_specs(
+                WasteRatioTask(config), digest, strategy, seeds, chunk_size=1
+            )
+            cells.append((config, digest, strategy, seeds, specs))
+    return cells
+
+
+def _drain_with_fleet(spool_dir, cache_dir, workers: int) -> tuple[float, dict]:
+    """Drain the spool with ``workers`` threads; wall seconds + fleet stats."""
+    fleet = [
+        SpoolWorker(
+            WorkSpool(spool_dir, lease_ttl_s=30.0),
+            ResultCache(cache_dir),
+            worker_id=f"sat-{workers}w-{index}",
+            poll_interval_s=0.01,
+            batch_size=4,
+        )
+        for index in range(workers)
+    ]
+    threads = [
+        threading.Thread(target=worker.run, kwargs={"drain": True}, daemon=True)
+        for worker in fleet
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall_s = time.perf_counter() - start
+    totals = {
+        "tasks_done": sum(worker.stats.tasks_done for worker in fleet),
+        "batches_claimed": sum(worker.stats.batches_claimed for worker in fleet),
+        "cache_hits": sum(worker.stats.cache_hits for worker in fleet),
+        "lease_reclaims": sum(worker.stats.lease_reclaims for worker in fleet),
+    }
+    return wall_s, totals
+
+
+def test_bench_spool_saturation_curve(tmp_path):
+    cells = _saturation_cells()
+    all_specs = [spec for *_, specs in cells for spec in specs]
+    num_seeds = sum(len(seeds) for _, _, _, seeds, _ in cells)
+
+    # Serial ground truth, simulated once: every leg must reproduce it.
+    serial = {
+        (digest, strategy): ParallelRunner().run_config(config, seeds)
+        for config, digest, strategy, seeds, _ in cells
+    }
+
+    curve = []
+    for workers in WORKER_CURVE:
+        spool_dir = tmp_path / f"spool-{workers}w"
+        cache_dir = tmp_path / f"cache-{workers}w"
+        spool = WorkSpool(spool_dir)
+        assert spool.enqueue_many(list(all_specs)) == len(all_specs)
+
+        previous_hook = fsops.install_fault_hook(
+            fsops.FaultInjector(delay_s=DELAY_S, ops=frozenset({"rename"}))
+        )
+        try:
+            wall_s, totals = _drain_with_fleet(spool_dir, cache_dir, workers)
+        finally:
+            fsops.install_fault_hook(previous_hook)
+
+        assert spool.status().drained
+        assert totals["tasks_done"] == len(all_specs)
+        cache = ResultCache(cache_dir)
+        for config, digest, strategy, seeds, _ in cells:
+            drained = [cache.get(digest, strategy, seed) for seed in seeds]
+            assert drained == serial[(digest, strategy)]  # bit-identical
+        curve.append(
+            {
+                "workers": workers,
+                "wall_s": round(wall_s, 3),
+                "seeds_per_s": round(num_seeds / wall_s, 2),
+                **totals,
+            }
+        )
+
+    base = curve[0]["wall_s"]
+    for row in curve:
+        row["speedup_vs_1w"] = round(base / row["wall_s"], 2)
+    record = {
+        "benchmark": "spool-saturation",
+        "preset": "smoke",
+        "cells": len(cells),
+        "specs": len(all_specs),
+        "seeds": num_seeds,
+        "worker_batch_size": 4,
+        "latency_model": {
+            "delay_s": DELAY_S,
+            "ops": ["rename"],
+            "note": (
+                "every spool rename (batch claim, per-task ack) sleeps "
+                "delay_s, modelling PFS metadata latency; sleeps overlap "
+                "across workers, so the curve isolates spool concurrency"
+            ),
+        },
+        "curve": curve,
+        "speedup_8w_vs_1w": curve[-1]["speedup_vs_1w"],
+        "bit_identical_to_serial": True,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for row in curve:
+        print(
+            f"  {row['workers']}w: {row['wall_s']:.2f}s "
+            f"({row['seeds_per_s']:.1f} seeds/s, x{row['speedup_vs_1w']:.2f})"
+        )
+    # The acceptance floor: the spool must actually saturate — eight
+    # latency-bound workers at least 3x one.
+    assert curve[-1]["speedup_vs_1w"] >= 3.0, curve

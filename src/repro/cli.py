@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.errors import ConfigurationError, ReproError
@@ -92,6 +93,12 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         "claim is judged by the TTL its claiming worker recorded, so this "
         "only governs claims with no metadata (spool backend, default 60)",
     )
+    sub.add_argument(
+        "--max-inflight", type=int, default=128, metavar="N",
+        help="backpressure: at most N task specs of one batch sit in the "
+        "spool at a time; the rest enter as earlier ones complete "
+        "(spool backend, default 128)",
+    )
     _add_kernel_argument(sub)
 
 
@@ -127,6 +134,7 @@ def _runner_from_args(args: argparse.Namespace) -> ParallelRunner:
         spool_dir=getattr(args, "spool", None),
         spool_timeout_s=getattr(args, "spool_timeout", None),
         spool_lease_ttl_s=getattr(args, "lease_ttl", 60.0),
+        spool_max_inflight=getattr(args, "max_inflight", 128),
     )
     args._runner = runner
     return runner
@@ -283,8 +291,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 60; heartbeats run at a quarter of this)",
     )
     worker.add_argument(
+        "--batch-size", type=int, default=8, metavar="N",
+        help="tasks claimed per shard rename (default: 8); the excess of a "
+        "bigger shard is handed straight back to peers",
+    )
+    worker.add_argument(
         "--max-tasks", type=int, default=None, metavar="N",
         help="exit after completing N tasks (default: unbounded)",
+    )
+    worker.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics and /healthz JSON on this local port "
+        "(0 = OS-assigned; the chosen port is printed at startup)",
+    )
+    worker.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines (one object per event) instead "
+        "of human-oriented text",
     )
     worker.add_argument(
         "--drain", action="store_true",
@@ -631,6 +654,7 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
 
 
 def _cmd_worker(args: argparse.Namespace) -> str:
+    import json as json_module
     from pathlib import Path
 
     from repro.distributed import SpoolWorker, WorkSpool
@@ -647,16 +671,46 @@ def _cmd_worker(args: argparse.Namespace) -> str:
         raise ConfigurationError("worker needs --cache-dir: the shared result cache")
     if args.poll_interval <= 0:
         raise ConfigurationError("--poll-interval must be positive")
+    if args.batch_size <= 0:
+        raise ConfigurationError("--batch-size must be positive")
+
+    def _json_event(event: dict) -> None:
+        print(json_module.dumps(event, separators=(",", ":")), flush=True)
+
     worker = SpoolWorker(
         spool,
         ResultCache(args.cache_dir),
         poll_interval_s=args.poll_interval,
+        batch_size=args.batch_size,
         max_tasks=args.max_tasks,
-        log=None if args.quiet else print,
+        log=None if (args.quiet or args.log_json) else print,
+        event_log=_json_event if args.log_json else None,
         **({"worker_id": args.worker_id} if args.worker_id else {}),
     )
-    print(f"worker {worker.worker_id}: spool {spool.root}, cache {args.cache_dir}")
-    stats = worker.run(drain=args.drain, idle_timeout_s=args.idle_timeout)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.distributed import WorkerMetricsServer
+
+        metrics_server = WorkerMetricsServer(worker.metrics, port=args.metrics_port)
+    banner = {
+        "worker": worker.worker_id,
+        "spool": str(spool.root),
+        "cache": str(args.cache_dir),
+    }
+    if metrics_server is not None:
+        banner["metrics"] = metrics_server.url
+    if args.log_json:
+        _json_event({"ts": time.time(), "event": "start", **banner})
+    else:
+        line = f"worker {worker.worker_id}: spool {spool.root}, cache {args.cache_dir}"
+        if metrics_server is not None:
+            line += f", metrics {metrics_server.url}"
+        print(line, flush=True)
+    try:
+        stats = worker.run(drain=args.drain, idle_timeout_s=args.idle_timeout)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     return f"worker {worker.worker_id}: {stats.describe()}"
 
 

@@ -6,12 +6,14 @@ JSON task specs — is the whole coordination layer.  No broker, no sockets,
 no database; any filesystem shared between machines (NFS, a bind mount, or
 just ``localhost``) is a cluster.
 
-* :class:`~repro.distributed.spool.WorkSpool` — the filesystem work queue.
-  Enqueue writes a spec to a temp file and atomically renames it into
-  ``tasks/``; claiming atomically renames ``tasks/<id>.json`` into
-  ``claims/`` (exactly one claimer wins); the claim file's mtime is the
-  worker's heartbeat, and claims whose lease expired are reclaimed back
-  into ``tasks/`` so crashed workers never strand work.
+* :class:`~repro.distributed.spool.WorkSpool` — the filesystem work queue,
+  sharded by config-digest prefix for fleet scale.  Enqueue writes a spec
+  into its shard of ``tasks/``; claiming renames a whole shard directory
+  into ``claims/<batch_id>/`` (one rename claims a batch; exactly one
+  claimer wins); the batch's lease-file mtime is the worker's heartbeat,
+  and batches whose lease expired are reclaimed back into their shards so
+  crashed workers never strand work.  Per-shard append-only journals under
+  ``index/`` let submitters poll progress in O(shards touched).
 * :class:`~repro.distributed.tasks.TaskSpec` — one spooled unit of work: a
   picklable per-seed task plus the ``(digest, strategy, seeds)`` triple it
   covers, content-addressed so re-submitting after an interruption is
@@ -33,17 +35,21 @@ cache hits while in-flight tasks keep their spool entries.
 
 from __future__ import annotations
 
-from repro.distributed.spool import SpoolStatus, WorkSpool
+from repro.distributed.metrics import WorkerMetricsServer
+from repro.distributed.spool import ClaimedBatch, SpoolStatus, WorkSpool
 from repro.distributed.submit import SpoolBackend
-from repro.distributed.tasks import TaskSpec, make_task_specs
+from repro.distributed.tasks import TaskSpec, make_task_specs, shard_of
 from repro.distributed.worker import SpoolWorker, WorkerStats
 
 __all__ = [
+    "ClaimedBatch",
     "SpoolBackend",
     "SpoolStatus",
     "SpoolWorker",
     "TaskSpec",
     "WorkSpool",
+    "WorkerMetricsServer",
     "WorkerStats",
     "make_task_specs",
+    "shard_of",
 ]

@@ -1,34 +1,51 @@
 """The filesystem work spool: a broker-less, crash-tolerant task queue.
 
-Layout (all under one shared directory)::
+Layout version 2 (recorded in ``spool.json`` at the spool root)::
 
     <spool>/
-      tasks/<task_id>.json        # enqueued specs, ready to claim
-      claims/<task_id>.json       # claimed specs; file mtime = last heartbeat
-      claims/<task_id>.meta.json  # claim metadata (worker id, claim time)
-      done/<task_id>.json         # completion markers (spec + worker + stats)
-      failed/<task_id>.json       # failure records (spec + error traceback)
+      spool.json                    # {"layout": "2"} — the layout version
+      tasks/<shard>/<task_id>.json  # enqueued specs, ready to claim
+      claims/<batch_id>/            # one directory per claimed *batch*
+        .lease.json                 #   worker id + TTL; file mtime = heartbeat
+        <task_id>.json              #   the batch's still-unfinished specs
+      done/<shard>/<task_id>.json   # completion markers
+      failed/<shard>/<task_id>.json # failure records (spec + error traceback)
+      index/<shard>.jsonl           # append-only event journal per shard
 
-Every transition is a single atomic :func:`os.rename` on the same
-filesystem, so the spool needs no locks and tolerates any number of
-concurrent submitters and workers:
+``<shard>`` is the task id's config-digest prefix
+(:func:`~repro.distributed.tasks.shard_of`), so directories stay small at
+fleet scale and one campaign cell's tasks sit together.  Every transition
+is still a single atomic :func:`os.rename` on the same filesystem, so the
+spool needs no locks and tolerates any number of concurrent submitters and
+workers:
 
-* **enqueue** writes the spec to a temporary file and renames it into
-  ``tasks/``; task ids are content-addressed, so double submission is a
-  no-op.
-* **claim** renames ``tasks/<id>.json`` into ``claims/``; rename fails for
-  every process but one, so exactly one worker wins each task.
-* **heartbeat** touches the claim file; a claim whose mtime is older than
-  the lease TTL its claimer recorded (in the metadata sidecar) belongs to a
-  crashed (or wedged) worker and *any* participant may **reclaim** it by
-  renaming it back into ``tasks/`` — again, exactly one reclaimer wins.
-* **ack** renames the claim into ``done/``; **fail** records the error in
-  ``failed/`` and drops the claim; **release** puts an interrupted worker's
-  claim back into ``tasks/`` untouched.
+* **enqueue** writes the spec into its shard of ``tasks/``; task ids are
+  content-addressed, so double submission is a no-op.
+* **claim** renames an entire shard directory into ``claims/<batch_id>/`` —
+  *one rename claims a whole batch of tasks* — then re-creates the shard
+  for submitters and returns up to ``limit`` specs (any excess is handed
+  back, so a big shard still spreads across workers).  The rename fails
+  for every process but one, so exactly one worker wins each batch.
+* **heartbeat** touches the batch's ``.lease.json``; a lease whose mtime is
+  older than the TTL its claimer recorded belongs to a crashed (or wedged)
+  worker and *any* participant may **reclaim** its tasks back into their
+  shards — per-task renames there resolve every race to one winner.
+* **ack** renames a spec from its batch into ``done/``; **fail** records
+  the error in ``failed/`` and drops the spec; **release** returns an
+  interrupted worker's specs to their shards untouched.
 
+``index/<shard>.jsonl`` is an advisory append-only journal of ``done`` /
+``failed`` / ``requeue`` events.  Submitters tail it so progress polling
+costs O(shards touched) instead of a directory sweep; because it is
+advisory (an append can be lost to a crash), every consumer backs it with
+ground truth — the result cache for deliveries, marker files for failures.
+
+Spools written by the flat pre-shard layout are migrated automatically on
+open: entries move into their shards, orphaned claims return to the queue,
+and the journal is rebuilt, after which ``spool.json`` pins the layout.
 The lease TTL must comfortably exceed the heartbeat interval (workers
 heartbeat from a background thread while simulating), not the task
-duration — long tasks stay leased as long as their worker is alive.
+duration — long batches stay leased as long as their worker is alive.
 """
 
 from __future__ import annotations
@@ -36,20 +53,37 @@ from __future__ import annotations
 import json
 import os
 import time
+import uuid
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError, SpoolError
-from repro.distributed.tasks import TaskSpec
-from repro.exec.cache import atomic_write_text
+from repro.distributed import fsops
+from repro.distributed.tasks import TaskSpec, shard_of
+from repro.exec.journal import append_record, tail_records
 
-__all__ = ["SpoolStatus", "WorkSpool"]
+__all__ = ["ClaimedBatch", "SpoolStatus", "SpoolTail", "WorkSpool", "SPOOL_LAYOUT_VERSION"]
+
+#: Version of the on-disk spool layout, recorded in ``spool.json`` at the
+#: spool root.  Opening a spool written by a *newer* layout fails loudly;
+#: a spool with no recorded layout is either fresh or flat (version 1) and
+#: is migrated in place.
+SPOOL_LAYOUT_VERSION = "2"
 
 #: Subdirectories of a spool, created on first use.
-_STATE_DIRS = ("tasks", "claims", "done", "failed")
+_STATE_DIRS = ("tasks", "claims", "done", "failed", "index")
 
-#: Suffix of claim-metadata sidecar files (excluded from spec globs).
+#: Name of the per-batch lease file (mtime = heartbeat).  The leading dot
+#: keeps it out of every spec listing.
+_LEASE_NAME = ".lease.json"
+
+#: Suffix of the flat layout's claim-metadata sidecars (migration only).
 _META_SUFFIX = ".meta.json"
+
+
+def _is_spec_name(name: str) -> bool:
+    return name.endswith(".json") and not name.startswith(".")
 
 
 @dataclass(frozen=True)
@@ -73,6 +107,48 @@ class SpoolStatus:
         )
 
 
+@dataclass(frozen=True)
+class ClaimedBatch:
+    """One claimed batch: the claim's directory id and its decoded specs."""
+
+    batch_id: str
+    specs: tuple[TaskSpec, ...]
+
+
+class SpoolTail:
+    """Incremental reader of a spool's per-shard event journals.
+
+    Remembers a byte offset per shard, so each :meth:`poll` costs one
+    ``stat`` per shard plus only the newly appended bytes.  Created via
+    :meth:`WorkSpool.tail`, which starts at the journals' current ends —
+    events recorded before the tail was opened describe work from earlier
+    campaigns and are deliberately skipped.
+    """
+
+    def __init__(self, spool: "WorkSpool", shards: set[str], *, from_start: bool = False) -> None:
+        self._spool = spool
+        self._offsets: dict[str, int] = {}
+        for shard in shards:
+            offset = 0
+            if not from_start:
+                try:
+                    offset = os.stat(spool.journal_path(shard)).st_size
+                except OSError:
+                    offset = 0
+            self._offsets[shard] = offset
+
+    def poll(self) -> list[dict]:
+        """Events appended since the previous poll, across every shard."""
+        events: list[dict] = []
+        for shard in self._offsets:
+            records, offset = tail_records(
+                self._spool.journal_path(shard), self._offsets[shard]
+            )
+            self._offsets[shard] = offset
+            events.extend(records)
+        return events
+
+
 class WorkSpool:
     """One shared spool directory; see the module docstring for semantics."""
 
@@ -85,227 +161,600 @@ class WorkSpool:
         self.lease_ttl_s = float(lease_ttl_s)
         for name in _STATE_DIRS:
             (self.root / name).mkdir(parents=True, exist_ok=True)
+        #: Batches claimed through this handle: task id -> batch id.
+        self._batches: dict[str, str] = {}
+        self._adopt_layout()
 
     # ------------------------------------------------------------ layout
-    def _path(self, state: str, task_id: str) -> Path:
-        return self.root / state / f"{task_id}.json"
+    def _state_dir(self, state: str) -> Path:
+        return self.root / state
 
-    def _meta_path(self, task_id: str) -> Path:
-        return self.root / "claims" / f"{task_id}{_META_SUFFIX}"
+    def _shard_path(self, state: str, task_id: str) -> Path:
+        return self.root / state / shard_of(task_id) / f"{task_id}.json"
 
-    def _spec_files(self, state: str) -> list[Path]:
+    def _batch_dir(self, batch_id: str) -> Path:
+        return self.root / "claims" / batch_id
+
+    def _lease_path(self, batch_id: str) -> Path:
+        return self._batch_dir(batch_id) / _LEASE_NAME
+
+    def journal_path(self, shard: str) -> Path:
+        """On-disk path of one shard's event journal."""
+        return self.root / "index" / f"{shard}.jsonl"
+
+    def _meta_path(self) -> Path:
+        return self.root / "spool.json"
+
+    def _shards(self, state: str) -> list[str]:
+        """Shard directories currently present under one state."""
         return sorted(
-            path
-            for path in (self.root / state).glob("*.json")
-            if not path.name.endswith(_META_SUFFIX)
+            name
+            for name in fsops.scandir_names(self._state_dir(state))
+            if not name.startswith(".") and (self._state_dir(state) / name).is_dir()
         )
 
+    def _batch_ids(self) -> list[str]:
+        return sorted(
+            name
+            for name in fsops.scandir_names(self._state_dir("claims"))
+            if (self._state_dir("claims") / name).is_dir()
+        )
+
+    def _shard_spec_names(self, state: str, shard: str) -> list[str]:
+        return sorted(
+            name
+            for name in fsops.scandir_names(self._state_dir(state) / shard)
+            if _is_spec_name(name)
+        )
+
+    # ------------------------------------------------------------ versioning
+    def _adopt_layout(self) -> None:
+        """Read ``spool.json``; migrate flat spools; pin the layout version.
+
+        A half-written or unparseable ``spool.json`` is treated as absent —
+        migration is idempotent, so re-running it is always safe — and a
+        *newer* recorded layout fails loudly instead of being misread.
+        """
+        try:
+            meta = json.loads(self._meta_path().read_text(encoding="utf-8"))
+            layout = str(meta["layout"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            layout = None
+        if layout == SPOOL_LAYOUT_VERSION:
+            return
+        if layout is not None and layout > SPOOL_LAYOUT_VERSION:
+            raise SpoolError(
+                f"spool {self.root} uses layout {layout!r}, newer than this "
+                f"code's {SPOOL_LAYOUT_VERSION!r}; upgrade the code or use a "
+                "fresh spool directory"
+            )
+        self._migrate_flat_layout()
+        try:
+            fsops.write_text(
+                self._meta_path(), json.dumps({"layout": SPOOL_LAYOUT_VERSION})
+            )
+        except OSError:
+            pass  # advisory: the next open simply re-runs the migration
+
+    def _migrate_flat_layout(self) -> None:
+        """Move flat (layout 1) entries into shards and rebuild the journal.
+
+        Flat claims cannot keep their leases across the migration (their
+        heartbeat files move), so they are conservatively returned to the
+        queue; re-simulation is idempotent through the result cache.  Safe
+        to run concurrently — every move is a rename race with one winner —
+        and on a fresh or already-sharded spool it is a no-op.
+        """
+        for state in ("tasks", "done", "failed"):
+            directory = self._state_dir(state)
+            for name in fsops.scandir_names(directory):
+                if not _is_spec_name(name) or not (directory / name).is_file():
+                    continue
+                task_id = name[: -len(".json")]
+                self._move(directory / name, self._shard_path(state, task_id))
+        claims = self._state_dir("claims")
+        for name in fsops.scandir_names(claims):
+            path = claims / name
+            if not path.is_file():
+                continue
+            if name.endswith(_META_SUFFIX):
+                fsops.unlink(path)
+            elif _is_spec_name(name):
+                task_id = name[: -len(".json")]
+                self._move(path, self._shard_path("tasks", task_id))
+        self._rebuild_journals()
+
+    def _rebuild_journals(self) -> None:
+        """Rewrite every shard journal from the done/failed directories."""
+        shards = set(self._shards("done")) | set(self._shards("failed"))
+        for shard in shards:
+            lines = []
+            for state, op in (("done", "done"), ("failed", "failed")):
+                for name in self._shard_spec_names(state, shard):
+                    record = {"op": op, "id": name[: -len(".json")]}
+                    lines.append(json.dumps(record, separators=(",", ":")))
+            try:
+                fsops.write_text(
+                    self.journal_path(shard), "".join(line + "\n" for line in lines)
+                )
+            except OSError:
+                pass  # advisory
+
+    # ------------------------------------------------------------ primitives
+    def _move(self, src: Path, dst: Path, attempts: int = 4) -> bool:
+        """Atomic rename with destination-parent creation and fault retry.
+
+        Returns False when the source vanished first — a peer won the race
+        — which every caller treats as "not mine", never as an error.
+        ``FileNotFoundError`` is ambiguous: it also fires when the freshly
+        created *destination parent* was renamed away between our ``mkdir``
+        and ``rename`` (a claimer taking the shard we are handing specs back
+        to), so the source is probed to tell the two apart — otherwise the
+        spec would sit stranded in its batch directory until lease expiry.
+        """
+        for _ in range(attempts):
+            try:
+                fsops.mkdir(dst.parent)
+                fsops.rename(src, dst)
+                return True
+            except FileNotFoundError:
+                try:
+                    if not os.path.lexists(src):
+                        return False  # src gone: lost the race
+                except OSError:
+                    pass
+                continue  # dst parent vanished mid-race: re-create and retry
+            except OSError:
+                continue  # transient (or injected) error: retry
+        return False
+
+    def _write(self, path: Path, text: str, attempts: int = 4) -> None:
+        last: OSError | None = None
+        for _ in range(attempts):
+            try:
+                fsops.mkdir(path.parent)
+                fsops.write_text(path, text)
+                return
+            except OSError as exc:  # parent renamed away mid-claim, or injected
+                last = exc
+        raise SpoolError(f"cannot write {path}: {last}") from last
+
+    def _journal(self, op: str, task_id: str) -> None:
+        """Append one advisory event; journal loss degrades, never breaks."""
+        try:
+            append_record(self.journal_path(shard_of(task_id)), {"op": op, "id": task_id})
+        except OSError:
+            pass
+
+    @staticmethod
+    def _exists(path: Path) -> bool:
+        """Existence probe that treats a transient stat failure as absent.
+
+        Safe because no spool decision rests on existence alone: enqueue
+        rewrites are idempotent (content-addressed atomic writes), claim
+        and reclaim are settled by rename races, and done/failed probes are
+        re-polled.  A flaky stat therefore costs a retry, never corrupts.
+        """
+        try:
+            return fsops.exists(path)
+        except OSError:
+            return False
+
     # ------------------------------------------------------------ submitter side
+    def _claimed_ids(self) -> set[str]:
+        """Ids currently sitting in claim batches (O(batches) scans)."""
+        claimed: set[str] = set()
+        for batch_id in self._batch_ids():
+            for name in fsops.scandir_names(self._batch_dir(batch_id)):
+                if _is_spec_name(name):
+                    claimed.add(name[: -len(".json")])
+        return claimed
+
     def enqueue(self, spec: TaskSpec) -> bool:
         """Spool one task; returns False when it is already pending or claimed.
 
         A leftover ``done`` or ``failed`` marker for the same id is stale by
         construction — submitters only enqueue work whose results are missing
-        from the cache — so it is cleared and the task queued again (this is
-        what makes retries after a failure and resumes after a cache wipe
-        plain re-submissions).
+        from the cache — so it is cleared (with a ``requeue`` journal event)
+        and the task queued again.
         """
-        task_path = self._path("tasks", spec.task_id)
-        if task_path.exists() or self._path("claims", spec.task_id).exists():
-            return False
-        for stale_state in ("done", "failed"):
-            stale = self._path(stale_state, spec.task_id)
-            try:
-                stale.unlink()
-            except FileNotFoundError:
-                pass
-        atomic_write_text(task_path, spec.encode())
-        return True
+        return self.enqueue_many([spec]) == 1
+
+    def enqueue_many(self, specs: list[TaskSpec]) -> int:
+        """Spool many tasks at once; returns how many were actually enqueued.
+
+        Amortises the claimed-id scan over the whole batch, so a submitter
+        enqueueing hundreds of specs costs O(batches) directory scans, not
+        O(batches × specs).
+        """
+        claimed = self._claimed_ids() if specs else set()
+        enqueued = 0
+        for spec in specs:
+            task_path = self._shard_path("tasks", spec.task_id)
+            if self._exists(task_path) or spec.task_id in claimed:
+                continue
+            for stale_state in ("done", "failed"):
+                stale = self._shard_path(stale_state, spec.task_id)
+                try:
+                    stale.unlink()
+                except FileNotFoundError:
+                    continue
+                except OSError:
+                    continue
+                self._journal("requeue", spec.task_id)
+            self._write(task_path, spec.encode())
+            enqueued += 1
+        return enqueued
 
     # ------------------------------------------------------------ worker side
     def claim(self, worker_id: str) -> TaskSpec | None:
-        """Atomically claim one pending task, oldest task-id first.
+        """Atomically claim one pending task (compat path over batches).
 
         Expired claims are reclaimed first, so a single surviving worker
-        eventually drains a spool abandoned by crashed peers.  Corrupt spec
-        files are moved to ``failed/`` instead of wedging the queue.
+        eventually drains a spool abandoned by crashed peers.  Workers that
+        want the amortised one-rename-per-batch path call
+        :meth:`claim_batch` directly.
         """
         self.reclaim_expired()
-        for path in self._spec_files("tasks"):
-            task_id = path.stem
-            claim_path = self._path("claims", task_id)
+        batch = self.claim_batch(worker_id, limit=1)
+        return batch.specs[0] if batch is not None else None
+
+    def claim_batch(self, worker_id: str, *, limit: int | None = None) -> ClaimedBatch | None:
+        """Claim up to ``limit`` tasks from one shard with a single rename.
+
+        The whole shard directory is renamed into ``claims/<batch_id>/``
+        (exactly one claimer wins), the shard is re-created for submitters,
+        and any specs beyond ``limit`` are handed straight back so a hot
+        shard still spreads across workers.  Corrupt spec files are moved
+        to ``failed/`` instead of wedging the queue.  Returns ``None`` when
+        no shard yielded a claimable task.
+        """
+        if limit is not None and limit <= 0:
+            raise ConfigurationError("claim batch limit must be positive")
+        shards = self._shards("tasks")
+        if shards:  # rotate the probe order so workers spread across shards
+            # (crc32, not hash(): str hashing is salted per process, and the
+            # probe order must be deterministic for a given worker id)
+            offset = zlib.crc32(worker_id.encode("utf-8")) % len(shards)
+            shards = shards[offset:] + shards[:offset]
+        for shard in shards:
+            shard_dir = self._state_dir("tasks") / shard
             try:
-                os.rename(path, claim_path)
-            except FileNotFoundError:
-                continue  # another claimer won the rename; try the next task
-            try:
-                # The rename preserved the enqueue-time mtime; refresh it at
-                # once so a task that waited in the queue longer than the
-                # lease TTL doesn't look instantly expired.  A reclaim sweep
-                # can still steal the claim inside that window — losing it
-                # (FileNotFoundError below) is just a lost race, not an
-                # error, exactly like losing the rename.
-                now = time.time()
-                os.utime(claim_path, (now, now))
-                try:
-                    atomic_write_text(
-                        self._meta_path(task_id),
-                        json.dumps(
-                            {
-                                "worker": worker_id,
-                                "claimed_at": now,
-                                "lease_ttl_s": self.lease_ttl_s,
-                            }
-                        ),
-                    )
-                except OSError:
-                    pass  # metadata is advisory; the claim itself already holds
-                text = claim_path.read_text(encoding="utf-8")
-            except FileNotFoundError:
-                self._discard_meta(task_id)
-                continue  # a racing sweep reclaimed the stale-looking claim
-            try:
-                spec = TaskSpec.decode(text)
-            except SpoolError as exc:
-                self.fail(task_id, f"corrupt spec: {exc}", worker_id=worker_id)
+                if not any(_is_spec_name(name) for name in fsops.scandir_names(shard_dir)):
+                    continue
+            except OSError:
                 continue
-            return spec
+            batch_id = f"{worker_id}-{uuid.uuid4().hex[:8]}"
+            batch_dir = self._batch_dir(batch_id)
+            if not self._move(shard_dir, batch_dir):
+                continue  # another claimer won this shard; try the next
+            try:
+                fsops.mkdir(shard_dir)  # reopen the shard for submitters
+            except OSError:
+                pass  # submitters re-create shards on demand anyway
+            batch = self._assemble_batch(batch_id, batch_dir, worker_id, limit)
+            if batch is not None:
+                return batch
         return None
 
-    def heartbeat(self, task_id: str) -> None:
-        """Refresh the lease of one claimed task (missing claims are ignored:
-        the task may have been reclaimed after a stall, and the reclaim wins)."""
+    def _assemble_batch(
+        self, batch_id: str, batch_dir: Path, worker_id: str, limit: int | None
+    ) -> ClaimedBatch | None:
+        names = sorted(name for name in fsops.scandir_names(batch_dir) if _is_spec_name(name))
+        if limit is not None and len(names) > limit:
+            for name in names[limit:]:  # hand the excess back to the shard
+                task_id = name[: -len(".json")]
+                self._move(batch_dir / name, self._shard_path("tasks", task_id))
+            names = names[:limit]
+        now = time.time()
         try:
-            now = time.time()
-            os.utime(self._path("claims", task_id), (now, now))
-        except FileNotFoundError:
-            pass
+            self._write(
+                self._lease_path(batch_id),
+                json.dumps(
+                    {
+                        "worker": worker_id,
+                        "claimed_at": now,
+                        "lease_ttl_s": self.lease_ttl_s,
+                        "tasks": [name[: -len(".json")] for name in names],
+                    }
+                ),
+            )
+        except SpoolError:
+            # Without a lease the batch would only expire via the directory
+            # mtime fallback; hand everything back instead of running dark.
+            for name in names:
+                task_id = name[: -len(".json")]
+                self._move(batch_dir / name, self._shard_path("tasks", task_id))
+            self._remove_batch_dir(batch_id)
+            return None
+        specs: list[TaskSpec] = []
+        for name in names:
+            task_id = name[: -len(".json")]
+            try:
+                text = fsops.read_text(batch_dir / name)
+            except OSError:
+                # Unreadable right now (or reclaimed already): hand it back.
+                self._move(batch_dir / name, self._shard_path("tasks", task_id))
+                continue
+            try:
+                specs.append(TaskSpec.decode(text))
+            except SpoolError as exc:
+                self._quarantine(batch_id, task_id, f"corrupt spec: {exc}", worker_id)
+        if not specs:
+            self._remove_batch_dir(batch_id)
+            return None
+        for spec in specs:
+            self._batches[spec.task_id] = batch_id
+        return ClaimedBatch(batch_id=batch_id, specs=tuple(specs))
+
+    def _find_batch(self, task_id: str) -> str | None:
+        """The batch currently holding one claimed task (handle map first)."""
+        batch_id = self._batches.get(task_id)
+        if batch_id is not None and self._exists(self._batch_dir(batch_id) / f"{task_id}.json"):
+            return batch_id
+        for candidate in self._batch_ids():
+            if self._exists(self._batch_dir(candidate) / f"{task_id}.json"):
+                return candidate
+        return None
+
+    def _remove_batch_dir(self, batch_id: str) -> None:
+        """Drop a batch directory once its last spec left (best effort)."""
+        batch_dir = self._batch_dir(batch_id)
+        remaining = [name for name in fsops.scandir_names(batch_dir) if _is_spec_name(name)]
+        if remaining:
+            return
+        fsops.unlink(self._lease_path(batch_id))
+        try:
+            fsops.rmdir(batch_dir)
+        except OSError:
+            pass  # a racing ack/reclaim finishes the cleanup
+
+    def heartbeat(self, task_id: str) -> None:
+        """Refresh the lease of the batch holding one claimed task (missing
+        claims are ignored: the task may have been reclaimed after a stall,
+        and the reclaim wins)."""
+        batch_id = self._batches.get(task_id) or self._find_batch(task_id)
+        if batch_id is not None:
+            self.heartbeat_batch(batch_id)
+
+    def heartbeat_batch(self, batch_id: str) -> None:
+        """Refresh one batch's lease directly (the worker's heartbeat thread)."""
+        try:
+            fsops.touch(self._lease_path(batch_id))
+        except OSError:
+            pass  # reclaimed, or a transient stall: lease expiry is the story
 
     def ack(self, task_id: str, *, worker_id: str = "") -> None:
         """Mark one claimed task complete (its results are in the cache)."""
-        claim_path = self._path("claims", task_id)
-        done_path = self._path("done", task_id)
-        try:
-            os.rename(claim_path, done_path)
-        except FileNotFoundError as exc:
+        batch_id = self._find_batch(task_id)
+        done_path = self._shard_path("done", task_id)
+        if batch_id is None or not self._move(
+            self._batch_dir(batch_id) / f"{task_id}.json", done_path
+        ):
             raise SpoolError(
                 f"cannot ack task {task_id!r}: no claim on file (lease expired "
                 "and the task was reclaimed?)"
-            ) from exc
-        self._discard_meta(task_id)
+            )
+        self._batches.pop(task_id, None)
+        self._journal("done", task_id)
         if worker_id:
             try:
-                now = time.time()
                 payload = json.loads(done_path.read_text(encoding="utf-8"))
                 payload["completed_by"] = worker_id
-                payload["completed_at"] = now
-                atomic_write_text(done_path, json.dumps(payload))
+                payload["completed_at"] = time.time()
+                fsops.write_text(done_path, json.dumps(payload))
             except (OSError, json.JSONDecodeError):
                 pass  # the rename already recorded completion
+        self._remove_batch_dir(batch_id)
 
     def fail(self, task_id: str, error: str, *, worker_id: str = "") -> None:
         """Record a task failure and drop its claim.
 
-        The original spec is preserved inside the failure record, so
-        ``failed/<id>.json`` is both the error report and enough to re-queue
-        the task by re-submitting.  A failure reported for a claim the
-        caller no longer holds (its lease expired mid-stall and a peer took
-        the task back) is dropped silently: writing a record then would
-        abort the submitter's batch while the peer's retry is live.
+        The original spec is preserved inside the failure record, so the
+        record is both the error report and enough to re-queue the task by
+        re-submitting.  A failure reported for a claim the caller no longer
+        holds (its lease expired mid-stall and a peer took the task back)
+        is dropped silently: writing a record then would abort the
+        submitter's batch while the peer's retry is live.
         """
-        claim_path = self._path("claims", task_id)
+        batch_id = self._find_batch(task_id)
+        if batch_id is None:
+            self._batches.pop(task_id, None)
+            return  # reclaimed by a peer; its retry owns the outcome now
+        self._quarantine(batch_id, task_id, error, worker_id)
+
+    def _quarantine(self, batch_id: str, task_id: str, error: str, worker_id: str) -> None:
+        claim_path = self._batch_dir(batch_id) / f"{task_id}.json"
         try:
             spec_text = claim_path.read_text(encoding="utf-8")
         except OSError:
-            self._discard_meta(task_id)
-            return  # claim reclaimed by a peer; its retry owns the outcome now
-        record = {"task_id": task_id, "worker": worker_id, "error": error, "failed_at": time.time(), "spec": spec_text}
-        atomic_write_text(self._path("failed", task_id), json.dumps(record))
+            self._batches.pop(task_id, None)
+            return  # reclaimed by a peer between finding and reading
+        record = {
+            "task_id": task_id,
+            "worker": worker_id,
+            "error": error,
+            "failed_at": time.time(),
+            "spec": spec_text,
+        }
         try:
-            claim_path.unlink()
-        except FileNotFoundError:
-            pass
-        self._discard_meta(task_id)
+            self._write(self._shard_path("failed", task_id), json.dumps(record))
+        except SpoolError:
+            return  # leave the claim; lease expiry will retry the task
+        fsops.unlink(claim_path)
+        self._batches.pop(task_id, None)
+        self._journal("failed", task_id)
+        self._remove_batch_dir(batch_id)
 
     def release(self, task_id: str) -> None:
         """Return one claimed task to the queue untouched (graceful shutdown)."""
-        try:
-            os.rename(self._path("claims", task_id), self._path("tasks", task_id))
-        except FileNotFoundError:
-            pass
-        self._discard_meta(task_id)
+        batch_id = self._find_batch(task_id)
+        if batch_id is None:
+            self._batches.pop(task_id, None)
+            return
+        self._move(
+            self._batch_dir(batch_id) / f"{task_id}.json",
+            self._shard_path("tasks", task_id),
+        )
+        self._batches.pop(task_id, None)
+        self._remove_batch_dir(batch_id)
 
-    def _discard_meta(self, task_id: str) -> None:
-        try:
-            self._meta_path(task_id).unlink()
-        except FileNotFoundError:
-            pass
+    def release_batch(self, batch: ClaimedBatch) -> None:
+        """Return every unfinished spec of one batch to the queue."""
+        for spec in batch.specs:
+            if self._exists(self._batch_dir(batch.batch_id) / f"{spec.task_id}.json"):
+                self.release(spec.task_id)
 
     # ------------------------------------------------------------ recovery
     def reclaim_expired(self) -> list[str]:
-        """Move claims whose lease expired back into ``tasks/``.
+        """Move tasks of expired claim batches back into their shards.
 
-        Any participant (worker or submitter) may call this; the rename
-        races resolve to exactly one winner per task, so concurrent reclaim
-        sweeps are safe.  A claim is judged against the TTL its *claimer*
-        recorded in the metadata sidecar, so a submitter configured with a
-        shorter lease than the workers never steals live claims; this
-        spool's own TTL only applies to claims whose metadata is missing.
+        Any participant (worker or submitter) may call this; the per-task
+        rename races resolve to exactly one winner, so concurrent reclaim
+        sweeps are safe.  A batch is judged against the TTL its *claimer*
+        recorded in the lease file; a half-written or missing lease falls
+        back to this spool's own TTL judged on the directory mtime, so an
+        orphaned batch can never outlive its worker forever.
         """
         reclaimed: list[str] = []
         now = time.time()
-        for claim_path in self._spec_files("claims"):
-            task_id = claim_path.stem
+        for batch_id in self._batch_ids():
+            batch_dir = self._batch_dir(batch_id)
+            ttl = self.lease_ttl_s
             try:
-                if claim_path.stat().st_mtime > now - self._claim_ttl(task_id):
+                lease = json.loads(self._lease_path(batch_id).read_text(encoding="utf-8"))
+                ttl = float(lease["lease_ttl_s"])
+                mtime = fsops.stat(self._lease_path(batch_id)).st_mtime
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                try:  # half-written/absent lease: judge by the directory
+                    mtime = fsops.stat(batch_dir).st_mtime
+                except OSError:
                     continue
-            except FileNotFoundError:
+            if mtime > now - ttl:
                 continue
+            for name in fsops.scandir_names(batch_dir):
+                if not _is_spec_name(name):
+                    continue
+                task_id = name[: -len(".json")]
+                if self._move(batch_dir / name, self._shard_path("tasks", task_id)):
+                    reclaimed.append(task_id)
+            fsops.unlink(self._lease_path(batch_id))
             try:
-                os.rename(claim_path, self._path("tasks", task_id))
-            except FileNotFoundError:
-                continue  # someone else reclaimed (or the worker acked) first
-            self._discard_meta(task_id)
-            reclaimed.append(task_id)
+                fsops.rmdir(batch_dir)
+            except OSError:
+                pass  # a racing sweep (or a late ack) finishes the cleanup
         return reclaimed
-
-    def _claim_ttl(self, task_id: str) -> float:
-        """The lease TTL the claimer recorded, falling back to this spool's."""
-        try:
-            ttl = json.loads(self._meta_path(task_id).read_text(encoding="utf-8"))["lease_ttl_s"]
-            return float(ttl)
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return self.lease_ttl_s
 
     # ------------------------------------------------------------ inspection
     def is_done(self, task_id: str) -> bool:
-        """True when a completion marker exists for ``task_id``."""
-        return self._path("done", task_id).exists()
+        """True when a completion marker exists for ``task_id`` (O(1))."""
+        return self._exists(self._shard_path("done", task_id))
 
     def has_failed(self, task_id: str) -> bool:
-        """True when a failure record exists for ``task_id``."""
-        return self._path("failed", task_id).exists()
+        """True when a failure record exists for ``task_id`` (O(1))."""
+        return self._exists(self._shard_path("failed", task_id))
 
     def failure(self, task_id: str) -> str | None:
         """The recorded error of one failed task, or ``None``."""
         try:
-            record = json.loads(self._path("failed", task_id).read_text(encoding="utf-8"))
+            record = json.loads(
+                self._shard_path("failed", task_id).read_text(encoding="utf-8")
+            )
             return str(record.get("error", "unknown error"))
         except (OSError, json.JSONDecodeError):
             return None
 
     def failed_ids(self) -> list[str]:
         """Ids of every task with a failure record, sorted."""
-        return [path.stem for path in self._spec_files("failed")]
+        ids: list[str] = []
+        for shard in self._shards("failed"):
+            ids.extend(
+                name[: -len(".json")] for name in self._shard_spec_names("failed", shard)
+            )
+        return sorted(ids)
+
+    def tail(self, task_ids: list[str] | None = None, *, from_start: bool = False) -> SpoolTail:
+        """An incremental journal reader over the shards of ``task_ids``
+        (or every shard currently indexed when omitted)."""
+        if task_ids is None:
+            shards = {
+                name[: -len(".jsonl")]
+                for name in fsops.scandir_names(self._state_dir("index"))
+                if name.endswith(".jsonl")
+            }
+        else:
+            shards = {shard_of(task_id) for task_id in task_ids}
+        return SpoolTail(self, shards, from_start=from_start)
+
+    # ------------------------------------------------------------ index audit
+    def index_snapshot(self, shard: str) -> dict[str, set[str]]:
+        """Folded journal state of one shard: the sets of done/failed ids.
+
+        ``requeue`` events cancel earlier ``done``/``failed`` ones, and
+        duplicate appends (a racing migration) fold away — this is the
+        incrementally-maintained view the property suite compares against
+        :meth:`rebuild_index`.
+        """
+        done: set[str] = set()
+        failed: set[str] = set()
+        records, _ = tail_records(self.journal_path(shard), 0)
+        for record in records:
+            op, task_id = record.get("op"), record.get("id")
+            if not isinstance(task_id, str):
+                continue
+            if op == "done":
+                done.add(task_id)
+                failed.discard(task_id)
+            elif op == "failed":
+                failed.add(task_id)
+                done.discard(task_id)
+            elif op == "requeue":
+                done.discard(task_id)
+                failed.discard(task_id)
+        return {"done": done, "failed": failed}
+
+    def rebuild_index(self, shard: str) -> dict[str, set[str]]:
+        """Ground truth of one shard rebuilt from the directories."""
+        return {
+            "done": {
+                name[: -len(".json")] for name in self._shard_spec_names("done", shard)
+            },
+            "failed": {
+                name[: -len(".json")] for name in self._shard_spec_names("failed", shard)
+            },
+        }
+
+    def idle(self) -> bool:
+        """True when no task is pending or claimed (cheap drained check:
+        never lists ``done``/``failed``, so polling it stays O(shards) even
+        on a spool with a long completion history)."""
+        for shard in self._shards("tasks"):
+            if self._shard_spec_names("tasks", shard):
+                return False
+        for batch_id in self._batch_ids():
+            for name in fsops.scandir_names(self._batch_dir(batch_id)):
+                if _is_spec_name(name):
+                    return False
+        return True
 
     def status(self) -> SpoolStatus:
         """Task counts per state."""
-        return SpoolStatus(
-            pending=len(self._spec_files("tasks")),
-            claimed=len(self._spec_files("claims")),
-            done=len(self._spec_files("done")),
-            failed=len(self._spec_files("failed")),
+        pending = sum(
+            len(self._shard_spec_names("tasks", shard)) for shard in self._shards("tasks")
         )
+        claimed = sum(
+            1
+            for batch_id in self._batch_ids()
+            for name in fsops.scandir_names(self._batch_dir(batch_id))
+            if _is_spec_name(name)
+        )
+        done = sum(
+            len(self._shard_spec_names("done", shard)) for shard in self._shards("done")
+        )
+        failed = sum(
+            len(self._shard_spec_names("failed", shard)) for shard in self._shards("failed")
+        )
+        return SpoolStatus(pending=pending, claimed=claimed, done=done, failed=failed)
 
     def __repr__(self) -> str:
         return f"WorkSpool(root={str(self.root)!r}, lease_ttl_s={self.lease_ttl_s}, {self.status().describe()})"

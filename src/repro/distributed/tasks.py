@@ -31,11 +31,41 @@ from dataclasses import dataclass, field
 from repro.errors import SpoolError
 from repro.exec.digest import DIGEST_VERSION
 
-__all__ = ["SPOOL_FORMAT_VERSION", "TaskSpec", "make_task_specs", "task_id_for"]
+__all__ = [
+    "SPOOL_FORMAT_VERSION",
+    "SHARD_WIDTH",
+    "TaskSpec",
+    "make_task_specs",
+    "shard_of",
+    "task_id_for",
+]
 
 #: Version of the on-disk task-spec format; bump on incompatible changes so
 #: old spool entries are rejected loudly instead of misinterpreted.
 SPOOL_FORMAT_VERSION = "1"
+
+#: Hex characters of a task id that name its directory shard.
+SHARD_WIDTH = 2
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def shard_of(task_id: str) -> str:
+    """Directory shard of one task id: its config-digest prefix.
+
+    Task ids start with the first 8 hex characters of the config digest
+    (:func:`task_id_for`), so sharding by the first :data:`SHARD_WIDTH` of
+    them groups one campaign cell's tasks into one shard — which is what
+    makes batched claiming grab a whole cell in a single rename.  The
+    function is pure (no process state, no randomness), so every submitter,
+    worker and sweeper on every machine derives the identical shard for a
+    task id.  Foreign ids that do not begin with hex characters fall back
+    to a hash so the mapping stays total and deterministic.
+    """
+    head = task_id[:SHARD_WIDTH].lower()
+    if len(head) == SHARD_WIDTH and all(char in _HEX_DIGITS for char in head):
+        return head
+    return hashlib.sha256(task_id.encode("utf-8")).hexdigest()[:SHARD_WIDTH]
 
 
 def task_id_for(digest: str, strategy: str, seeds: Sequence[int]) -> str:

@@ -1,19 +1,26 @@
-"""The spool worker: claim -> simulate -> cache -> ack, forever.
+"""The spool worker: claim a batch -> simulate -> cache -> ack, forever.
 
 :class:`SpoolWorker` is the engine behind the ``coopckpt worker`` CLI
-daemon.  Each loop iteration claims one task spec from the shared
-:class:`~repro.distributed.spool.WorkSpool`, simulates its seeds, writes
-every value into the shared :class:`~repro.exec.cache.ResultCache` (the
-delivery channel the submitter polls) and acks the task.  While a task is
-in flight a background thread heartbeats its lease, so long simulations
-never look abandoned; if the worker dies anyway, the lease expires and a
-peer reclaims the task.
+daemon.  Each loop iteration claims a *batch* of task specs from the shared
+:class:`~repro.distributed.spool.WorkSpool` (one directory rename claims up
+to ``batch_size`` tasks from a shard), simulates their seeds, writes every
+value into the shared :class:`~repro.exec.cache.ResultCache` (the delivery
+channel the submitter polls) and acks each task.  While a batch is in
+flight a background thread heartbeats its lease, so long simulations never
+look abandoned; if the worker dies anyway, the lease expires and a peer
+reclaims the batch.
 
 Workers are fully independent: run any number of them against the same
 spool/cache pair, on one machine or many, start them before or after the
 submitter, kill and restart them freely.  Task failures are recorded in
-the spool (``failed/<id>.json``) and never crash the worker; Ctrl-C
-releases the in-flight task back to the queue before exiting.
+the spool (``failed/<shard>/<id>.json``) and never crash the worker;
+Ctrl-C releases the unfinished remainder of the batch before exiting.
+
+Observability: :meth:`SpoolWorker.metrics` returns a JSON-ready snapshot
+(claims/s, cache-hit rate, lease reclaims, heartbeat age, in-flight batch)
+— the payload served by ``coopckpt worker --metrics-port`` — and the
+optional ``event_log`` sink receives one structured dict per worker event
+for JSON logging.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ import traceback
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.distributed.spool import WorkSpool
+from repro.distributed.spool import ClaimedBatch, WorkSpool
 from repro.distributed.tasks import TaskSpec
 from repro.errors import SpoolError
 from repro.exec.cache import ResultCache
@@ -47,6 +54,9 @@ class WorkerStats:
     tasks_failed: int = 0
     seeds_simulated: int = 0
     polls: int = 0
+    batches_claimed: int = 0
+    cache_hits: int = 0
+    lease_reclaims: int = 0
 
     def describe(self) -> str:
         return (
@@ -68,6 +78,10 @@ class SpoolWorker:
         Identity recorded in claim metadata and completion markers.
     poll_interval_s:
         Sleep between claim attempts when the spool has no pending work.
+    batch_size:
+        Upper bound on tasks claimed per shard rename; a claimed shard's
+        excess is handed straight back, so larger batches amortise renames
+        without starving peers.
     max_tasks:
         Stop after completing this many tasks (``None`` = unbounded);
         useful for tests and for rolling worker restarts.
@@ -77,24 +91,76 @@ class SpoolWorker:
         without signals.
     log:
         Optional sink for one-line progress messages (e.g. ``print``).
+    event_log:
+        Optional sink for structured events: one dict per message with
+        ``ts``/``worker``/``event`` keys plus event-specific fields (the
+        ``--log-json`` CLI mode serialises these as JSON lines).
     """
 
     spool: WorkSpool
     cache: ResultCache
     worker_id: str = field(default_factory=default_worker_id)
     poll_interval_s: float = 0.5
+    batch_size: int = 8
     max_tasks: int | None = None
     stop_event: threading.Event | None = None
     log: Callable[[str], None] | None = None
+    event_log: Callable[[dict], None] | None = None
     stats: WorkerStats = field(default_factory=WorkerStats)
 
+    def __post_init__(self) -> None:
+        self._started_at = time.time()
+        self._last_beat: float | None = None
+        self._in_flight: dict | None = None
+
     # ------------------------------------------------------------ logging
-    def _say(self, message: str) -> None:
+    def _say(self, message: str, *, event: str = "info", **fields: object) -> None:
         if self.log is not None:
             self.log(f"[{self.worker_id}] {message}")
+        if self.event_log is not None:
+            self.event_log(
+                {
+                    "ts": time.time(),
+                    "worker": self.worker_id,
+                    "event": event,
+                    "msg": message,
+                    **fields,
+                }
+            )
 
     def _stopped(self) -> bool:
         return self.stop_event is not None and self.stop_event.is_set()
+
+    # ------------------------------------------------------------ metrics
+    def metrics(self) -> dict:
+        """JSON-ready observability snapshot (the ``--metrics-port`` payload).
+
+        Safe to call from another thread while the worker runs: every field
+        is read from monotonic counters or atomically swapped references.
+        """
+        now = time.time()
+        uptime = max(now - self._started_at, 1e-9)
+        stats = self.stats
+        probes = stats.cache_hits + stats.seeds_simulated
+        in_flight = self._in_flight
+        return {
+            "worker_id": self.worker_id,
+            "uptime_s": round(uptime, 3),
+            "tasks_done": stats.tasks_done,
+            "tasks_failed": stats.tasks_failed,
+            "seeds_simulated": stats.seeds_simulated,
+            "batches_claimed": stats.batches_claimed,
+            "claims_per_s": round(stats.batches_claimed / uptime, 6),
+            "tasks_per_s": round(stats.tasks_done / uptime, 6),
+            "cache_hits": stats.cache_hits,
+            "cache_hit_rate": round(stats.cache_hits / probes, 6) if probes else 0.0,
+            "lease_reclaims": stats.lease_reclaims,
+            "polls": stats.polls,
+            "in_flight_batch": dict(in_flight) if in_flight else None,
+            "heartbeat_age_s": (
+                round(now - self._last_beat, 3) if self._last_beat is not None else None
+            ),
+        }
 
     # ------------------------------------------------------------ main loop
     def run(self, *, drain: bool = False, idle_timeout_s: float | None = None) -> WorkerStats:
@@ -110,11 +176,15 @@ class SpoolWorker:
         while not self._stopped():
             if self.max_tasks is not None and self.stats.tasks_done >= self.max_tasks:
                 break
-            spec = self.spool.claim(self.worker_id)
-            if spec is None:
+            self.stats.lease_reclaims += len(self.spool.reclaim_expired())
+            limit = self.batch_size
+            if self.max_tasks is not None:
+                limit = min(limit, max(1, self.max_tasks - self.stats.tasks_done))
+            batch = self.spool.claim_batch(self.worker_id, limit=limit)
+            if batch is None:
                 self.stats.polls += 1
                 now = time.time()
-                if drain and self.spool.status().drained:
+                if drain and self.spool.idle():
                     break
                 if idle_timeout_s is not None:
                     if idle_since is None:
@@ -124,38 +194,120 @@ class SpoolWorker:
                 time.sleep(self.poll_interval_s)
                 continue
             idle_since = None
-            try:
-                self.process(spec)
-            except KeyboardInterrupt:
-                self.spool.release(spec.task_id)
-                self._say(f"interrupted; released task {spec.task_id}")
-                raise
-        self._say(f"exiting: {self.stats.describe()}")
+            self.process_batch(batch)
+        self._say(f"exiting: {self.stats.describe()}", event="exit")
         return self.stats
+
+    # ------------------------------------------------------------ one batch
+    def process_batch(self, batch: ClaimedBatch) -> int:
+        """Simulate one claimed batch; returns how many tasks succeeded.
+
+        One background thread heartbeats the whole batch's lease, so the
+        per-task lease traffic of the flat layout collapses into one
+        ``utime`` per interval regardless of batch size.  On interruption
+        the unfinished remainder is released back to the queue.
+        """
+        self.stats.batches_claimed += 1
+        self._in_flight = {
+            "batch_id": batch.batch_id,
+            "tasks": len(batch.specs),
+            "remaining": len(batch.specs),
+        }
+        self._say(
+            f"claimed batch {batch.batch_id} ({len(batch.specs)} task(s))",
+            event="claim",
+            batch_id=batch.batch_id,
+            tasks=len(batch.specs),
+        )
+        heartbeat_stop = threading.Event()
+        interval = max(0.05, self.spool.lease_ttl_s / 4.0)
+
+        def _beat() -> None:
+            self._last_beat = time.time()
+            while not heartbeat_stop.wait(interval):
+                self.spool.heartbeat_batch(batch.batch_id)
+                self._last_beat = time.time()
+
+        heartbeat = threading.Thread(
+            target=_beat, name=f"heartbeat-{batch.batch_id}", daemon=True
+        )
+        heartbeat.start()
+        succeeded = 0
+        completed = 0
+        try:
+            for spec in batch.specs:
+                if self._stopped() or (
+                    self.max_tasks is not None
+                    and self.stats.tasks_done >= self.max_tasks
+                ):
+                    break
+                if self._execute(spec):
+                    succeeded += 1
+                completed += 1
+                if self._in_flight is not None:
+                    self._in_flight = {
+                        **self._in_flight,
+                        "remaining": len(batch.specs) - completed,
+                    }
+        except KeyboardInterrupt:
+            self.spool.release_batch(batch)
+            self._say(
+                f"interrupted; released batch {batch.batch_id}",
+                event="release",
+                batch_id=batch.batch_id,
+            )
+            raise
+        finally:
+            heartbeat_stop.set()
+            heartbeat.join()
+            self._in_flight = None
+        if completed < len(batch.specs):  # stopped early: hand the rest back
+            self.spool.release_batch(batch)
+        return succeeded
 
     # ------------------------------------------------------------ one task
     def process(self, spec: TaskSpec) -> bool:
-        """Simulate one claimed task; returns True on success.
+        """Simulate one claimed task with its own heartbeat; True on success.
 
-        Every computed value is written to the cache *before* the ack, so a
-        crash after N seeds loses at most the claim (reclaimed by a peer
-        after lease expiry), never a result — and the reclaiming worker
-        finds the first N seeds already cached.
+        Compatibility path for callers that claimed a single task via
+        :meth:`WorkSpool.claim`; the main loop uses :meth:`process_batch`.
         """
-        self._say(f"claimed {spec.task_id} ({spec.label or spec.strategy}, {len(spec.seeds)} seed(s))")
         heartbeat_stop = threading.Event()
         interval = max(0.05, self.spool.lease_ttl_s / 4.0)
 
         def _beat() -> None:
             while not heartbeat_stop.wait(interval):
                 self.spool.heartbeat(spec.task_id)
+                self._last_beat = time.time()
 
         heartbeat = threading.Thread(target=_beat, name=f"heartbeat-{spec.task_id}", daemon=True)
         heartbeat.start()
         try:
+            return self._execute(spec)
+        finally:
+            heartbeat_stop.set()
+            heartbeat.join()
+
+    def _execute(self, spec: TaskSpec) -> bool:
+        """Simulate one task's seeds into the cache, then ack (or fail).
+
+        Every computed value is written to the cache *before* the ack, so a
+        crash after N seeds loses at most the claim (reclaimed by a peer
+        after lease expiry), never a result — and the reclaiming worker
+        finds the first N seeds already cached.
+        """
+        self._say(
+            f"claimed {spec.task_id} ({spec.label or spec.strategy}, {len(spec.seeds)} seed(s))",
+            event="task",
+            task_id=spec.task_id,
+            seeds=len(spec.seeds),
+        )
+        try:
             for seed in spec.seeds:
                 if self.cache.probe(spec.digest, spec.strategy, seed) is not None:
-                    continue  # a previous (crashed) attempt already delivered it
+                    # A previous (crashed) attempt already delivered it.
+                    self.stats.cache_hits += 1
+                    continue
                 value = float(spec.task(seed))
                 self.cache.put(spec.digest, spec.strategy, seed, value)
                 self.stats.seeds_simulated += 1
@@ -174,18 +326,23 @@ class SpoolWorker:
                 "".join(traceback.format_exception(type(exc), exc, exc.__traceback__)),
                 worker_id=self.worker_id,
             )
-            self._say(f"task {spec.task_id} failed: {exc!r}")
+            self._say(
+                f"task {spec.task_id} failed: {exc!r}",
+                event="fail",
+                task_id=spec.task_id,
+            )
             return False
-        finally:
-            heartbeat_stop.set()
-            heartbeat.join()
         try:
             self.spool.ack(spec.task_id, worker_id=self.worker_id)
         except SpoolError:
             # The lease expired mid-task and a peer reclaimed it.  Harmless:
             # every value is already in the cache, so the peer's re-run will
             # be all cache hits and its ack will stand.
-            self._say(f"task {spec.task_id} was reclaimed before ack (results cached)")
+            self._say(
+                f"task {spec.task_id} was reclaimed before ack (results cached)",
+                event="reclaimed",
+                task_id=spec.task_id,
+            )
         self.stats.tasks_done += 1
-        self._say(f"done {spec.task_id}")
+        self._say(f"done {spec.task_id}", event="done", task_id=spec.task_id)
         return True

@@ -20,6 +20,16 @@ same bytes.
 Values round-trip exactly: Python's JSON encoder serialises floats with
 ``repr``, which is shortest-exact, so a cache hit is bit-identical to the
 simulation it replaced.
+
+Each shard additionally keeps an append-only index journal
+(``<shard>/.index.jsonl``, one record per entry/sidecar write) so
+:meth:`ResultCache.stats` reads O(shards) files instead of stat-walking
+every entry.  The journal is advisory (see :mod:`repro.exec.journal`):
+shards without one — written by older code, or populated out-of-band — are
+walked once and indexed; rewrites of the same path fold to the *latest*
+record, so a corrupt-then-rewritten entry or sidecar counts once, not
+twice; and :meth:`ResultCache.gc` rebuilds the journals from the directory
+tree after pruning, which re-synchronises them with any external deletion.
 """
 
 from __future__ import annotations
@@ -34,8 +44,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.exec.journal import append_record, read_records
 
 __all__ = ["CacheStats", "GcReport", "ResultCache", "atomic_write_text"]
+
+#: Name of the per-shard index journal (hidden: never globbed as an entry).
+_INDEX_NAME = ".index.jsonl"
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -116,6 +130,22 @@ class ResultCache:
     def _entry_path(self, digest: str, strategy: str, seed: int) -> Path:
         return self.root / digest[:2] / digest / strategy / f"{seed}.json"
 
+    def _journal_path(self, shard: str) -> Path:
+        return self.root / shard / _INDEX_NAME
+
+    def _journal_put(self, kind: str, path: Path, size: int, version: str) -> None:
+        """Record one write in the shard's index journal (best effort: a
+        lost append degrades stats to the next walk, never breaks them)."""
+        rel = path.relative_to(self.root).as_posix()
+        shard = rel.split("/", 1)[0]
+        try:
+            append_record(
+                self._journal_path(shard),
+                {"kind": kind, "path": rel, "bytes": size, "version": version},
+            )
+        except OSError:
+            pass
+
     # ------------------------------------------------------------ access
     def get(self, digest: str, strategy: str, seed: int) -> float | None:
         """Cached value for one key, or ``None`` on a miss.
@@ -170,7 +200,9 @@ class ResultCache:
             "value": float(value),
             "version": DIGEST_VERSION,
         }
-        atomic_write_text(path, json.dumps(entry))
+        text = json.dumps(entry)
+        atomic_write_text(path, text)
+        self._journal_put("entry", path, len(text.encode("utf-8")), DIGEST_VERSION)
         self.writes += 1
 
     # ------------------------------------------------------------ trace sidecars
@@ -212,7 +244,9 @@ class ResultCache:
 
         path = self.trace_path(digest, strategy, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, json.dumps({**payload, "version": DIGEST_VERSION}))
+        text = json.dumps({**payload, "version": DIGEST_VERSION})
+        atomic_write_text(path, text)
+        self._journal_put("trace", path, len(text.encode("utf-8")), DIGEST_VERSION)
 
     # ------------------------------------------------------------ maintenance
     def _entries(self) -> Iterator[Path]:
@@ -223,34 +257,106 @@ class ResultCache:
         """Every trace sidecar on disk (same layout as :meth:`_entries`)."""
         return self.root.glob("*/*/*/*.trace")
 
+    def _shard_names(self) -> list[str]:
+        return sorted(
+            path.name for path in self.root.iterdir() if path.is_dir()
+        )
+
+    @staticmethod
+    def _entry_version(path: Path) -> str:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return str(json.load(handle).get("version", "unversioned"))
+        except (OSError, json.JSONDecodeError, AttributeError):
+            # Unparseable entries still occupy their measured bytes, so
+            # stats agrees with what `gc --digest-version corrupt` reclaims.
+            return "corrupt"
+
+    def _walk_shard(self, shard: str) -> dict[tuple[str, str], dict]:
+        """Index one shard from its directory tree (the slow path)."""
+        folded: dict[tuple[str, str], dict] = {}
+        shard_dir = self.root / shard
+        for suffix, kind in ((".json", "entry"), (".trace", "trace")):
+            for path in shard_dir.glob(f"*/*/*{suffix}"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    size = 0
+                rel = path.relative_to(self.root).as_posix()
+                record = {"kind": kind, "path": rel, "bytes": size}
+                if kind == "entry":
+                    record["version"] = self._entry_version(path)
+                folded[(kind, rel)] = record
+        return folded
+
+    def _write_shard_index(self, shard: str, folded: dict[tuple[str, str], dict]) -> None:
+        """Persist one shard's folded index (or drop it when the shard is
+        empty, so directory cleanup can remove the shard).  Best effort."""
+        journal = self._journal_path(shard)
+        try:
+            if not folded:
+                journal.unlink(missing_ok=True)
+                return
+            atomic_write_text(
+                journal,
+                "".join(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                    for record in folded.values()
+                ),
+            )
+        except OSError:
+            pass
+
+    def _shard_index(self, shard: str) -> dict[tuple[str, str], dict]:
+        """One shard's index, journal-first.
+
+        A journaled shard is read from its journal alone — deduplicated by
+        path with the latest record winning, so a corrupt-then-rewritten
+        entry (or sidecar) on a resumed campaign is counted once.  A shard
+        with no journal (older layout, or populated out-of-band) is walked
+        once and its journal written, migrating it.
+        """
+        journal = self._journal_path(shard)
+        if not journal.exists():
+            folded = self._walk_shard(shard)
+            self._write_shard_index(shard, folded)
+            return folded
+        folded = {}
+        for record in read_records(journal):
+            kind, rel = record.get("kind"), record.get("path")
+            if kind not in ("entry", "trace") or not isinstance(rel, str):
+                continue
+            if rel.startswith("/") or ".." in rel.split("/"):
+                continue  # a journal must never index outside the cache
+            folded[(kind, rel)] = record
+        return folded
+
     def stats(self) -> CacheStats:
-        """Walk the cache tree and aggregate entry count, bytes and versions."""
+        """Aggregate entry count, bytes and versions, one journal per shard.
+
+        Costs O(shards touched): each journaled shard is one file read, and
+        only journal-less shards fall back to a directory walk (which also
+        writes their journal, so the walk happens once per shard ever).
+        """
         entries = 0
         total_bytes = 0
         versions: dict[str, int] = {}
-        for path in self._entries():
-            try:
-                size = path.stat().st_size
-            except OSError:
-                size = 0
-            try:
-                with path.open("r", encoding="utf-8") as handle:
-                    version = str(json.load(handle).get("version", "unversioned"))
-            except (OSError, json.JSONDecodeError, AttributeError):
-                # Unparseable entries still occupy their measured bytes, so
-                # stats agrees with what `gc --digest-version corrupt` reclaims.
-                version = "corrupt"
-            entries += 1
-            total_bytes += size
-            versions[version] = versions.get(version, 0) + 1
         trace_sidecars = 0
         trace_bytes = 0
-        for path in self._sidecars():
-            trace_sidecars += 1
-            try:
-                trace_bytes += path.stat().st_size
-            except OSError:
-                pass
+        for shard in self._shard_names():
+            for (kind, _), record in self._shard_index(shard).items():
+                try:
+                    size = int(record.get("bytes", 0))
+                except (TypeError, ValueError):
+                    size = 0
+                if kind == "entry":
+                    entries += 1
+                    total_bytes += size
+                    version = str(record.get("version", "unversioned"))
+                    versions[version] = versions.get(version, 0) + 1
+                else:
+                    trace_sidecars += 1
+                    trace_bytes += size
         return CacheStats(
             entries=entries,
             total_bytes=total_bytes,
@@ -344,6 +450,12 @@ class ResultCache:
                     removed -= 1
                     reclaimed -= size
         if not dry_run and removed:
+            # The prune invalidated the shard journals; rebuild them from
+            # the surviving tree (this also re-synchronises shards modified
+            # out-of-band, e.g. entries deleted externally).  Emptied shards
+            # drop their journal so the directory sweep can remove them.
+            for shard in self._shard_names():
+                self._write_shard_index(shard, self._walk_shard(shard))
             # Drop now-empty <strategy>/, <digest>/ and <shard>/ directories.
             for depth in ("*/*/*", "*/*", "*"):
                 for directory in self.root.glob(depth):

@@ -1,0 +1,81 @@
+"""Append-only JSONL journals: the lock-free index format of spool and cache.
+
+Both the distributed work spool and the result cache keep *per-shard index
+journals* so readers (``cache stats``, submitter progress polling) scale
+with the number of shards touched instead of sweeping and stat-walking
+every entry.  The format is deliberately minimal:
+
+* one JSON object per line, appended with a single buffered write — on a
+  POSIX filesystem ``O_APPEND`` writes of a short line are atomic, so any
+  number of workers can append to the same shard journal without locks;
+* a journal is *advisory*: it can lag the directory it indexes (a crash
+  between a rename and its journal append), so every consumer must treat it
+  as an accelerator over a slower ground truth (directory scan, cache
+  probe), never as the source of record;
+* a torn final line (a writer died mid-append, or the reader raced an
+  append) is treated as absent: :func:`read_records` and
+  :func:`tail_records` only consume newline-terminated lines and skip
+  unparseable ones.
+
+``tail_records`` supports incremental consumption: callers remember the
+byte offset it returns and pass it back, so polling a journal costs one
+``stat`` plus reading only the bytes appended since the previous poll.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["append_record", "read_records", "tail_records"]
+
+
+def append_record(path: Path, record: dict) -> None:
+    """Append one record as a single JSONL line (parents created on demand).
+
+    The line is serialised first and written with one call, so concurrent
+    appenders on the same filesystem interleave whole lines, never bytes.
+    """
+    line = json.dumps(record, separators=(",", ":")) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+
+
+def tail_records(path: Path, offset: int = 0) -> tuple[list[dict], int]:
+    """Records appended at or after ``offset``, plus the next offset.
+
+    Returns ``([], offset)`` when the journal is missing or has not grown.
+    The returned offset always lands on a line boundary: a torn final line
+    (no trailing newline yet) is left for the next poll, so a reader never
+    consumes half an append.  Unparseable complete lines are skipped — a
+    corrupt journal degrades to "fewer events", never to an error.
+    """
+    try:
+        size = os.stat(path).st_size
+    except OSError:
+        return [], offset
+    if size <= offset:
+        return [], offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read(size - offset)
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], offset  # only a torn line so far; re-read once completed
+    records: list[dict] = []
+    for raw in chunk[: end + 1].splitlines():
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + end + 1
+
+
+def read_records(path: Path) -> list[dict]:
+    """Every complete, parseable record of one journal (missing file = [])."""
+    records, _ = tail_records(path, 0)
+    return records

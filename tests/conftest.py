@@ -105,6 +105,40 @@ def spool_workers():
 
 
 @pytest.fixture
+def fs_faults():
+    """Factory: arm the spool's FS-ops choke point with a scripted hook.
+
+    Yields an installer that accepts either a plain ``(op, path)`` callable
+    or keyword arguments forwarded to
+    :class:`repro.distributed.fsops.FaultInjector` (``rate``/``delay_s``/
+    ``ops``/``seed``); returns the installed hook.  Whatever was installed
+    is restored on test exit, so armed faults never leak across tests.
+    Usage::
+
+        injector = fs_faults(rate=0.2, seed=7)       # seeded random faults
+        fs_faults(lambda op, path: ...)              # scripted faults
+        fs_faults(None)                              # disarm mid-test
+    """
+    from repro.distributed import fsops
+
+    initial = fsops.fault_hook()
+    installed = [initial]
+
+    def arm(hook=None, **kwargs):
+        if kwargs:
+            assert hook is None, "pass either a hook or FaultInjector kwargs"
+            hook = fsops.FaultInjector(**kwargs)
+        fsops.install_fault_hook(hook)
+        installed[0] = hook
+        return hook
+
+    try:
+        yield arm
+    finally:
+        fsops.install_fault_hook(initial)
+
+
+@pytest.fixture
 def tiny_config(tiny_platform, tiny_classes):
     """Factory for quick simulation configurations on the toy platform."""
 

@@ -15,7 +15,7 @@ import time
 import pytest
 
 from repro.distributed import TaskSpec, WorkSpool, make_task_specs
-from repro.distributed.tasks import SPOOL_FORMAT_VERSION, task_id_for
+from repro.distributed.tasks import SPOOL_FORMAT_VERSION, shard_of, task_id_for
 from repro.errors import ConfigurationError, SpoolError
 
 
@@ -26,6 +26,19 @@ def _toy_task(seed: int) -> float:
 
 def _spec(seeds=(1, 2, 3), strategy="least-waste", digest="a" * 64) -> TaskSpec:
     return TaskSpec(task=_toy_task, digest=digest, strategy=strategy, seeds=seeds)
+
+
+def _queued_path(root, task_id: str):
+    """Where one pending task sits in the sharded layout."""
+    return root / "tasks" / shard_of(task_id) / f"{task_id}.json"
+
+
+def _lease_of(root, task_id: str):
+    """The lease file of the claim batch currently holding one task."""
+    for batch_dir in (root / "claims").iterdir():
+        if batch_dir.is_dir() and (batch_dir / f"{task_id}.json").exists():
+            return batch_dir / ".lease.json"
+    raise AssertionError(f"no claim batch holds {task_id!r}")
 
 
 # ------------------------------------------------------------ construction
@@ -147,10 +160,14 @@ def test_enqueue_clears_stale_done_marker(tmp_path):
 def test_corrupt_spec_is_quarantined_not_wedging_the_queue(tmp_path):
     spool = WorkSpool(tmp_path)
     good = _spec()
-    (tmp_path / "tasks" / "00000000-bad-deadbeef.json").write_text("{corrupt")
+    bad = _queued_path(tmp_path, "00000000-bad-deadbeef")
+    bad.parent.mkdir(parents=True)
+    bad.write_text("{corrupt")
     spool.enqueue(good)
-    claimed = spool.claim("w1")  # skips the corrupt spec, claims the good one
-    assert claimed is not None and claimed.task_id == good.task_id
+    claimed = []
+    while (spec := spool.claim("w1")) is not None:  # quarantines, never wedges
+        claimed.append(spec.task_id)
+    assert claimed == [good.task_id]
     assert spool.status().failed == 1
     assert "corrupt" in spool.failure("00000000-bad-deadbeef")
 
@@ -163,7 +180,7 @@ def test_expired_lease_is_reclaimed_exactly_once(tmp_path):
     spool.claim("doomed")
     assert spool.reclaim_expired() == []  # lease still fresh
     past = time.time() - 60.0
-    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
+    os.utime(_lease_of(tmp_path, spec.task_id), (past, past))
     assert spool.reclaim_expired() == [spec.task_id]
     assert spool.reclaim_expired() == []  # second sweep finds nothing
     assert spool.status().pending == 1
@@ -179,49 +196,51 @@ def test_sweeper_honours_the_claimers_recorded_lease_ttl(tmp_path):
     worker_spool.enqueue(spec)
     worker_spool.claim("long-lease-worker")
     past = time.time() - 60.0  # stale under 0.05s, fresh under 300s
-    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
+    lease = _lease_of(tmp_path, spec.task_id)
+    os.utime(lease, (past, past))
     sweeper = WorkSpool(tmp_path, lease_ttl_s=0.05)
     assert sweeper.reclaim_expired() == []
-    # Without claim metadata the sweep falls back to its own (short) TTL.
-    (tmp_path / "claims" / f"{spec.task_id}.meta.json").unlink()
+    # Without a lease the sweep falls back to its own (short) TTL, judged
+    # on the batch directory's mtime.
+    batch_dir = lease.parent
+    lease.unlink()
+    os.utime(batch_dir, (past, past))
     assert sweeper.reclaim_expired() == [spec.task_id]
 
 
 def test_claim_refreshes_a_stale_queue_mtime(tmp_path):
     """A task that waited in the queue longer than the lease TTL must not
     look instantly expired once claimed (the rename preserves the old
-    enqueue mtime; claim() has to refresh it)."""
+    enqueue mtime; the claim's freshly written lease is what counts)."""
     spool = WorkSpool(tmp_path, lease_ttl_s=0.05)
     spec = _spec()
     spool.enqueue(spec)
     past = time.time() - 60.0
-    os.utime(tmp_path / "tasks" / f"{spec.task_id}.json", (past, past))
+    os.utime(_queued_path(tmp_path, spec.task_id), (past, past))
     assert spool.claim("w1") is not None
     assert spool.reclaim_expired() == []  # the fresh claim holds its lease
 
 
-def test_claim_survives_losing_the_post_rename_race(tmp_path, monkeypatch):
-    """If a reclaim sweep steals the claim back between the rename and the
-    mtime refresh, claim() must treat it as a lost race, not crash."""
-    import repro.distributed.spool as spool_module
+def test_claim_hands_batch_back_when_the_lease_cannot_be_written(tmp_path):
+    """A claim whose lease write keeps failing (full disk, PFS hiccup) must
+    hand the batch back and report no claim — a leaseless batch would only
+    expire via the slow directory-mtime fallback — not crash or run dark."""
+    from repro.distributed import fsops
 
     spool = WorkSpool(tmp_path)
     spec = _spec()
     spool.enqueue(spec)
 
-    real_utime = os.utime
+    def deny_lease_writes(op: str, path: str) -> None:
+        if op == "write" and path.endswith(".lease.json"):
+            raise OSError(f"injected: {op} {path}")
 
-    def stolen_utime(path, *args, **kwargs):
-        if str(path).endswith(f"{spec.task_id}.json") and "claims" in str(path):
-            # Simulate the racing sweep: the claim is already back in tasks/.
-            os.rename(path, tmp_path / "tasks" / f"{spec.task_id}.json")
-            raise FileNotFoundError(path)
-        return real_utime(path, *args, **kwargs)
-
-    monkeypatch.setattr(spool_module.os, "utime", stolen_utime)
-    assert spool.claim("w1") is None  # lost race, no exception
-    monkeypatch.undo()
-    assert spool.status().pending == 1  # the task is still queued
+    previous = fsops.install_fault_hook(deny_lease_writes)
+    try:
+        assert spool.claim("w1") is None  # lost to the fault, no exception
+    finally:
+        fsops.install_fault_hook(previous)
+    assert spool.status().pending == 1  # the task is back in the queue
     assert spool.claim("w2").task_id == spec.task_id
 
 
@@ -231,8 +250,8 @@ def test_heartbeat_keeps_lease_alive(tmp_path):
     spool.enqueue(spec)
     spool.claim("w1")
     past = time.time() - 60.0
-    os.utime(tmp_path / "claims" / f"{spec.task_id}.json", (past, past))
-    spool.heartbeat(spec.task_id)  # refreshes the mtime before the sweep
+    os.utime(_lease_of(tmp_path, spec.task_id), (past, past))
+    spool.heartbeat(spec.task_id)  # refreshes the lease before the sweep
     assert spool.reclaim_expired() == []
     spool.heartbeat("missing-task")  # reclaimed/acked tasks are ignored
 

@@ -21,6 +21,14 @@ from repro.scenarios.spec import Scenario
 from repro.stats.montecarlo import derive_seeds
 
 
+def _lease_of(spool_root, task_id: str):
+    """The lease file of the claim batch currently holding one task."""
+    for batch_dir in (spool_root / "claims").iterdir():
+        if batch_dir.is_dir() and (batch_dir / f"{task_id}.json").exists():
+            return batch_dir / ".lease.json"
+    raise AssertionError(f"no claim batch holds {task_id!r}")
+
+
 def _crash_scenario(tiny_platform, tiny_classes) -> Scenario:
     return Scenario(
         name="crashy",
@@ -168,7 +176,7 @@ def test_crashed_worker_lease_expires_and_campaign_is_bit_identical(
         WasteRatioTask(config)(doomed.seeds[0]),
     )
     past = time.time() - 60.0
-    os.utime(spool_dir / "claims" / f"{doomed.task_id}.json", (past, past))
+    os.utime(_lease_of(spool_dir, doomed.task_id), (past, past))
 
     runner = ParallelRunner(
         backend="spool",

@@ -273,6 +273,28 @@ def test_cache_stats_reports_entries_bytes_and_versions(tmp_path):
     assert stats.versions == {DIGEST_VERSION: 2, "unversioned": 1}
 
 
+def test_cache_stats_dedupes_rewritten_entries_and_sidecars_by_path(tmp_path):
+    """Regression: on a resumed campaign a corrupt-then-rewritten entry (or
+    trace sidecar) appends a *second* index-journal record for the same
+    path; stats must fold records by path (latest wins) instead of counting
+    the file twice."""
+    cache = ResultCache(tmp_path)
+    digest = "a" * 64
+    cache.put(digest, "least-waste", 1, 0.25)
+    cache.put_trace(digest, "least-waste", 1, {"categories": []})
+    # Torn write corrupts the sidecar; the resumed campaign rewrites it.
+    cache.trace_path(digest, "least-waste", 1).write_text("{broken")
+    cache.put_trace(digest, "least-waste", 1, {"categories": []})
+    stats = cache.stats()
+    assert stats.trace_sidecars == 1  # not 2
+    assert stats.trace_bytes == cache.trace_path(digest, "least-waste", 1).stat().st_size
+    # Scalar entries dedupe the same way on rewrite.
+    cache.put(digest, "least-waste", 1, 0.25)
+    after = cache.stats()
+    assert after.entries == 1
+    assert after.total_bytes == stats.total_bytes
+
+
 def test_cache_gc_prunes_by_version_and_age(tmp_path):
     import os
     import time

@@ -1,0 +1,204 @@
+"""Fault-injection tests of the sharded work spool.
+
+Every filesystem side effect of the spool goes through
+:mod:`repro.distributed.fsops`, so these tests can fail or delay chosen
+operations at chosen points and prove the spool's two load-bearing
+contracts hold under filesystem misbehaviour:
+
+* a claim is never granted to two workers, even when renames fail
+  mid-claim and are retried;
+* half-written advisory state (index journal lines, ``spool.json``, lease
+  files) is treated as *absent* — it degrades performance, never
+  correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.distributed import TaskSpec, WorkSpool
+from repro.distributed.spool import SPOOL_LAYOUT_VERSION
+from repro.distributed.tasks import shard_of
+
+
+def _toy_task(seed: int) -> float:
+    return float(seed % 7) / 7.0
+
+
+def _spec(seed: int, digest_char: str = "a") -> TaskSpec:
+    return TaskSpec(
+        task=_toy_task, digest=digest_char * 64, strategy="least-waste", seeds=(seed,)
+    )
+
+
+# ------------------------------------------------------- no double grants
+def test_claims_never_double_granted_under_rename_faults(tmp_path, fs_faults):
+    """Four claimers hammering a faulty filesystem must still partition the
+    queue: every task claimed exactly once, none lost, none duplicated."""
+    submit = WorkSpool(tmp_path)
+    specs = [
+        _spec(seed, digest_char) for seed in range(5) for digest_char in "abcd"
+    ]  # four shards, five tasks each
+    assert submit.enqueue_many(list(specs)) == len(specs)
+
+    fs_faults(rate=0.15, ops={"rename"}, seed=1234)
+
+    claimed: list[list[str]] = [[] for _ in range(4)]
+    spools = [WorkSpool(tmp_path) for _ in range(4)]
+
+    def drain(worker: int) -> None:
+        misses = 0
+        while misses < 25:  # injected faults make transient "nothing" normal
+            batch = spools[worker].claim_batch(f"w{worker}", limit=3)
+            if batch is None:
+                misses += 1
+                time.sleep(0.001)
+                continue
+            misses = 0
+            for spec in batch.specs:
+                claimed[worker].append(spec.task_id)
+                spools[worker].ack(spec.task_id, worker_id=f"w{worker}")
+
+    threads = [threading.Thread(target=drain, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+
+    all_claimed = [task_id for per_worker in claimed for task_id in per_worker]
+    assert sorted(all_claimed) == sorted(spec.task_id for spec in specs)
+    assert len(set(all_claimed)) == len(specs)  # never double-granted
+    fs_faults(None)
+    status = WorkSpool(tmp_path).status()
+    assert status.drained and status.done == len(specs)
+
+
+def test_injected_faults_are_counted_and_disarmed(tmp_path, fs_faults):
+    injector = fs_faults(rate=1.0, ops={"stat"}, seed=0)
+    spool = WorkSpool(tmp_path)
+    spec = _spec(1)
+    spool.enqueue(spec)  # exists() fails injected -> treated as "not queued"
+    assert injector.injected > 0
+    fs_faults(None)
+    assert spool.status().pending == 1  # the write itself was untouched
+
+
+# ------------------------------------------- half-written state is absent
+def test_torn_journal_line_is_invisible_until_completed(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec(3)
+    shard = shard_of(spec.task_id)
+    journal = spool.journal_path(shard)
+    tail = spool.tail([spec.task_id])
+
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"op": "done", "id": spec.task_id}))  # no \n
+
+    assert tail.poll() == []  # a torn append is absent, not an error
+    assert spool.index_snapshot(shard) == {"done": set(), "failed": set()}
+
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write("\n")  # the writer finishes its line
+    events = tail.poll()
+    assert events == [{"op": "done", "id": spec.task_id}]
+    assert spool.index_snapshot(shard)["done"] == {spec.task_id}
+
+
+def test_garbage_journal_lines_are_skipped(tmp_path):
+    spool = WorkSpool(tmp_path)
+    spec = _spec(4)
+    shard = shard_of(spec.task_id)
+    journal = spool.journal_path(shard)
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    journal.write_text('{broken json\n[1, 2, 3]\n{"op": "failed", "id": "%s"}\n' % spec.task_id)
+    snapshot = spool.index_snapshot(shard)
+    assert snapshot == {"done": set(), "failed": {spec.task_id}}
+
+
+def test_half_written_spool_meta_is_treated_as_absent(tmp_path):
+    """A crash mid-write of ``spool.json`` must not wedge the spool: the
+    half-written file reads as absent and the (idempotent) migration simply
+    re-runs, then re-pins the layout."""
+    first = WorkSpool(tmp_path)
+    spec = _spec(5)
+    first.enqueue(spec)
+    (tmp_path / "spool.json").write_text('{"lay')  # torn write
+
+    reopened = WorkSpool(tmp_path)
+    assert reopened.status().pending == 1
+    meta = json.loads((tmp_path / "spool.json").read_text())
+    assert meta["layout"] == SPOOL_LAYOUT_VERSION
+
+
+def test_half_written_lease_falls_back_to_directory_mtime(tmp_path):
+    """A torn lease file carries no TTL; the sweep must judge the batch by
+    its directory mtime under the sweeper's own TTL instead of trusting
+    (or crashing on) the partial JSON."""
+    spool = WorkSpool(tmp_path, lease_ttl_s=0.05)
+    spec = _spec(6)
+    spool.enqueue(spec)
+    batch = spool.claim_batch("doomed", limit=1)
+    assert batch is not None
+    batch_dir = tmp_path / "claims" / batch.batch_id
+    (batch_dir / ".lease.json").write_text('{"worker": "doomed", "lease_ttl')
+    past = time.time() - 60.0
+    os.utime(batch_dir, (past, past))
+    os.utime(batch_dir / ".lease.json", (past, past))
+    assert spool.reclaim_expired() == [spec.task_id]
+    assert spool.status().pending == 1 and spool.status().claimed == 0
+
+
+def test_flat_spool_is_migrated_on_open(tmp_path):
+    """A layout-1 (flat) spool auto-migrates: queued tasks move into their
+    shards, done/failed markers keep their meaning, orphaned flat claims
+    return to the queue, and the journal reflects the directories."""
+    for state in ("tasks", "claims", "done", "failed"):
+        (tmp_path / state).mkdir(parents=True)
+    queued, claimed, finished = _spec(1), _spec(2), _spec(3)
+    (tmp_path / "tasks" / f"{queued.task_id}.json").write_text(queued.encode())
+    (tmp_path / "claims" / f"{claimed.task_id}.json").write_text(claimed.encode())
+    (tmp_path / "claims" / f"{claimed.task_id}.meta.json").write_text(
+        '{"worker": "w0", "lease_ttl_s": 60.0}'
+    )
+    (tmp_path / "done" / f"{finished.task_id}.json").write_text(finished.encode())
+
+    spool = WorkSpool(tmp_path)
+    status = spool.status()
+    assert status.pending == 2  # the queued task plus the re-queued claim
+    assert status.claimed == 0 and status.done == 1
+    assert spool.is_done(finished.task_id)
+    shard = shard_of(finished.task_id)
+    assert spool.index_snapshot(shard)["done"] == {finished.task_id}
+    assert json.loads((tmp_path / "spool.json").read_text())["layout"] == SPOOL_LAYOUT_VERSION
+
+    # Re-opening (or a concurrent second migration) is a no-op.
+    again = WorkSpool(tmp_path)
+    assert again.status() == status
+    # The migrated spool is fully operational.
+    drained = []
+    while (spec := again.claim("w1")) is not None:
+        drained.append(spec.task_id)
+        again.ack(spec.task_id)
+    assert sorted(drained) == sorted([queued.task_id, claimed.task_id])
+
+
+def test_enqueue_retries_through_transient_write_faults(tmp_path, fs_faults):
+    """A write that fails once (shard dir renamed away mid-claim, transient
+    EIO) is retried with its parent re-created; only persistent failure
+    surfaces as an error."""
+    spool = WorkSpool(tmp_path)
+    failures = iter([True, True, False])  # fail twice, then succeed
+
+    def flaky_writes(op: str, path: str) -> None:
+        if op == "write" and path.endswith(".json") and next(failures, False):
+            raise OSError(f"injected: {op} {path}")
+
+    fs_faults(flaky_writes)
+    spec = _spec(7)
+    assert spool.enqueue(spec) is True
+    fs_faults(None)
+    assert spool.status().pending == 1
