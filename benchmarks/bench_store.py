@@ -1,0 +1,100 @@
+"""Result-store bench: filesystem vs. SQLite throughput at 10k entries.
+
+One synthetic workload per backend — 10 000 ``put`` calls across 100
+digests, 10 000 ``probe`` reads back, one full ``stats()`` scan — timed
+separately for write, read and stats.  The committed ``BENCH_store.json``
+records the comparison so a regression in either backend (or a divergence
+between them) shows up in review.  Both stores are verified to hold the
+same values before any number is reported: throughput never buys a
+different float.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.store import open_store
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_store.json"
+
+#: Synthetic cache size: DIGESTS x SEEDS entries.
+DIGESTS = 100
+SEEDS = 100
+STRATEGY = "least-waste"
+
+
+def _digests() -> list[str]:
+    return [f"{index:02x}" * 32 for index in range(DIGESTS)]
+
+
+def _value(digest_index: int, seed: int) -> float:
+    return (digest_index * SEEDS + seed) / (DIGESTS * SEEDS)
+
+
+def _bench_backend(kind: str, path) -> dict:
+    store = open_store(kind, path)
+    entries = DIGESTS * SEEDS
+
+    start = time.perf_counter()
+    for index, digest in enumerate(_digests()):
+        for seed in range(SEEDS):
+            store.put(digest, STRATEGY, seed, _value(index, seed))
+    write_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for index, digest in enumerate(_digests()):
+        for seed in range(SEEDS):
+            assert store.probe(digest, STRATEGY, seed) == _value(index, seed)
+    read_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = store.stats()
+    stats_s = time.perf_counter() - start
+    assert stats.entries == entries
+    assert len(store) == entries
+    store.close()
+
+    return {
+        "kind": kind,
+        "entries": entries,
+        "write_s": round(write_s, 3),
+        "writes_per_s": round(entries / write_s, 1),
+        "read_s": round(read_s, 3),
+        "reads_per_s": round(entries / read_s, 1),
+        "stats_s": round(stats_s, 3),
+    }
+
+
+def test_bench_store_backends(tmp_path):
+    legs = [
+        _bench_backend("filesystem", tmp_path / "fs"),
+        _bench_backend("sqlite", tmp_path / "db.sqlite"),
+    ]
+    record = {
+        "benchmark": "result-store",
+        "entries": DIGESTS * SEEDS,
+        "digests": DIGESTS,
+        "seeds_per_digest": SEEDS,
+        "note": (
+            "10k synthetic entries per backend: sequential put, sequential "
+            "probe (every value asserted), one stats() scan; identical "
+            "values verified across backends before timing is reported"
+        ),
+        "backends": legs,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    for leg in legs:
+        print(
+            f"{leg['kind']:>10}: write {leg['writes_per_s']:>8.1f}/s  "
+            f"read {leg['reads_per_s']:>8.1f}/s  stats {leg['stats_s']:.3f}s"
+        )
+    # Sanity floor, not a race: both backends must sustain a usable rate.
+    for leg in legs:
+        assert leg["writes_per_s"] > 100, leg
+        assert leg["reads_per_s"] > 100, leg

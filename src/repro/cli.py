@@ -21,6 +21,9 @@ from the shell::
     coopckpt worker --spool ./spool --cache-dir ./cache
     coopckpt cache stats --cache-dir ./cache
     coopckpt cache gc --cache-dir ./cache --older-than 30 --digest-version unversioned
+    coopckpt cache export --cache-dir ./cache --to ./cache.sqlite
+    coopckpt cache stats --cache-dir ./cache.sqlite --store sqlite
+    coopckpt serve --port 8181 --cache-dir ./cache.sqlite --store sqlite --workers 4
 
 Every experiment prints a plain-text table mirroring the corresponding table
 or figure of the paper; the figure commands can additionally export CSV/JSON
@@ -51,6 +54,7 @@ from repro.experiments.theory import theoretical_waste
 from repro.scenarios.presets import CAMPAIGNS
 from repro.sim.kernel import kernel_names, set_default_kernel
 from repro.simulation.simulator import run_simulation
+from repro.store import DEFAULT_STORE, open_store, store_kinds
 from repro.units import HOUR
 from repro.workloads.apex import apex_workload
 from repro.workloads.cielo import cielo_platform
@@ -73,6 +77,7 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         "--cache-dir", metavar="PATH", default=None,
         help="on-disk result cache; re-runs only simulate unseen seeds",
     )
+    _add_store_argument(sub)
     sub.add_argument(
         "--backend", choices=backend_names(), default=None,
         help="execution backend (default: serial, or process when --workers > 1); "
@@ -100,6 +105,15 @@ def _add_runner_arguments(sub: argparse.ArgumentParser) -> None:
         "(spool backend, default 128)",
     )
     _add_kernel_argument(sub)
+
+
+def _add_store_argument(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--store", metavar="KIND", default=None,
+        help="result-store backend behind --cache-dir: "
+        f"{', '.join(store_kinds())} (default: {DEFAULT_STORE}; third-party "
+        "kinds via repro.store.register_store)",
+    )
 
 
 def _add_kernel_argument(sub: argparse.ArgumentParser) -> None:
@@ -130,7 +144,7 @@ def _runner_from_args(args: argparse.Namespace) -> ParallelRunner:
     runner = ParallelRunner(
         backend=backend,
         workers=workers,
-        cache_dir=getattr(args, "cache_dir", None),
+        cache=_store_from_args(args),
         spool_dir=getattr(args, "spool", None),
         spool_timeout_s=getattr(args, "spool_timeout", None),
         spool_lease_ttl_s=getattr(args, "lease_ttl", 60.0),
@@ -138,6 +152,31 @@ def _runner_from_args(args: argparse.Namespace) -> ParallelRunner:
     )
     args._runner = runner
     return runner
+
+
+def _store_from_args(args: argparse.Namespace):
+    """Open (once) the result store selected by ``--store``/``--cache-dir``.
+
+    Like the runner, the store is remembered on ``args`` so :func:`main`
+    closes it on every exit path (a SQLite store checkpoints its WAL on
+    close).  No ``--cache-dir`` means no store — and ``--store`` alone is a
+    loud error rather than a silently uncached run.
+    """
+    existing = getattr(args, "_store", None)
+    if existing is not None:
+        return existing
+    cache_dir = getattr(args, "cache_dir", None)
+    kind = getattr(args, "store", None)
+    if cache_dir is None:
+        if kind is not None:
+            raise ConfigurationError(
+                "--store selects the backend of --cache-dir; add "
+                "--cache-dir PATH to attach a cache"
+            )
+        return None
+    store = open_store(kind or DEFAULT_STORE, cache_dir)
+    args._store = store
+    return store
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared result cache results are delivered through "
         "(required unless --status)",
     )
+    _add_store_argument(worker)
     worker.add_argument(
         "--worker-id", metavar="ID", default=None,
         help="identity recorded in claims (default: <host>-<pid>)",
@@ -324,16 +364,18 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--quiet", action="store_true", help="suppress per-task log lines")
     _add_kernel_argument(worker)
 
-    cache = sub.add_parser("cache", help="inspect and prune an on-disk result cache")
+    cache = sub.add_parser("cache", help="inspect, prune and migrate a result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
         "stats", help="entry count, bytes and digest versions present"
     )
     cache_stats.add_argument("--cache-dir", metavar="PATH", required=True)
+    _add_store_argument(cache_stats)
     cache_gc = cache_sub.add_parser(
         "gc", help="prune entries by age and/or digest version"
     )
     cache_gc.add_argument("--cache-dir", metavar="PATH", required=True)
+    _add_store_argument(cache_gc)
     cache_gc.add_argument(
         "--older-than", type=float, default=None, metavar="DAYS",
         help="remove entries not written/refreshed for this many days",
@@ -346,6 +388,65 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument(
         "--dry-run", action="store_true", help="report what would be removed, remove nothing"
     )
+    cache_export = cache_sub.add_parser(
+        "export",
+        help="copy every entry losslessly into another store "
+        "(e.g. filesystem directory -> one SQLite file)",
+    )
+    cache_export.add_argument(
+        "--cache-dir", metavar="PATH", required=True, help="source store path"
+    )
+    _add_store_argument(cache_export)
+    cache_export.add_argument(
+        "--to", metavar="PATH", required=True, help="destination store path"
+    )
+    cache_export.add_argument(
+        "--to-store", metavar="KIND", default=None,
+        help="destination backend (default: sqlite when the source is "
+        "filesystem, filesystem otherwise)",
+    )
+    cache_import = cache_sub.add_parser(
+        "import",
+        help="copy every entry losslessly from another store into --cache-dir",
+    )
+    cache_import.add_argument(
+        "--cache-dir", metavar="PATH", required=True, help="destination store path"
+    )
+    _add_store_argument(cache_import)
+    cache_import.add_argument(
+        "--from", dest="from_path", metavar="PATH", required=True,
+        help="source store path",
+    )
+    cache_import.add_argument(
+        "--from-store", metavar="KIND", default=None,
+        help="source backend (default: sqlite when the destination is "
+        "filesystem, filesystem otherwise)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve campaign results over HTTP: submit campaigns, poll "
+        "progress, list cells, export CSV, drill into waste decompositions",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1; 0.0.0.0 exposes the "
+        "service to the network)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8181, metavar="PORT",
+        help="port to bind (default: 8181; 0 = OS-assigned, printed at startup)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="PATH", required=True,
+        help="result store every job reads and warms (created if missing)",
+    )
+    _add_store_argument(serve)
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per running job (1 = in-process serial)",
+    )
+    _add_kernel_argument(serve)
 
     trace = sub.add_parser(
         "trace",
@@ -391,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         "free, and the decomposition is verified against the cell's cached "
         "waste value (--campaign mode)",
     )
+    _add_store_argument(trace)
 
     return parser
 
@@ -658,7 +760,6 @@ def _cmd_worker(args: argparse.Namespace) -> str:
     from pathlib import Path
 
     from repro.distributed import SpoolWorker, WorkSpool
-    from repro.exec.cache import ResultCache
 
     if args.status and not Path(args.spool).is_dir():
         # --status must never create the spool: a typo'd path would report a
@@ -679,7 +780,7 @@ def _cmd_worker(args: argparse.Namespace) -> str:
 
     worker = SpoolWorker(
         spool,
-        ResultCache(args.cache_dir),
+        _store_from_args(args),
         poll_interval_s=args.poll_interval,
         batch_size=args.batch_size,
         max_tasks=args.max_tasks,
@@ -715,47 +816,94 @@ def _cmd_worker(args: argparse.Namespace) -> str:
 
 
 def _cmd_cache(args: argparse.Namespace) -> str:
-    from pathlib import Path
-
-    from repro.exec.cache import ResultCache
     from repro.exec.digest import DIGEST_VERSION
+    from repro.store import copy_store
 
-    if not Path(args.cache_dir).is_dir():
-        # Never create the cache here: a typo'd --cache-dir would otherwise
-        # report a perfectly healthy empty cache instead of the mistake.
-        raise ConfigurationError(f"no cache at {args.cache_dir}")
-    cache = ResultCache(args.cache_dir)
-    if args.cache_command == "stats":
-        stats = cache.stats()
-        lines = [
-            f"cache {cache.root}",
-            f"  entries      : {stats.entries}",
-            f"  total bytes  : {stats.total_bytes}",
-            f"  digest now   : version {DIGEST_VERSION}",
-        ]
-        if stats.trace_sidecars:
-            lines.insert(
-                3,
-                f"  trace sidecars: {stats.trace_sidecars} ({stats.trace_bytes} bytes)",
+    kind = args.store or DEFAULT_STORE
+    if args.cache_command in ("export", "import"):
+        # Migrations default the *other* side to the other built-in backend,
+        # which makes the common moves one flag each:
+        #   cache export --cache-dir ./cache --to ./cache.sqlite
+        #   cache import --cache-dir ./cache --from ./cache.sqlite
+        other_default = "sqlite" if kind == "filesystem" else "filesystem"
+        if args.cache_command == "export":
+            src = open_store(kind, args.cache_dir, must_exist=True)
+            dst = open_store(args.to_store or other_default, args.to)
+        else:
+            src = open_store(
+                args.from_store or other_default, args.from_path, must_exist=True
             )
-        if stats.versions:
-            lines.append("  versions     :")
-            for version, count in stats.versions.items():
-                stale = "" if version == DIGEST_VERSION else "  (prunable: cache gc --digest-version)"
-                lines.append(f"    {version:<12}: {count} entr{'y' if count == 1 else 'ies'}{stale}")
-        return "\n".join(lines)
-    if args.older_than is not None and args.older_than < 0:
-        raise ConfigurationError("--older-than must be non-negative")
-    report = cache.gc(
-        older_than_s=args.older_than * 86400.0 if args.older_than is not None else None,
-        digest_version=args.digest_version,
-        dry_run=args.dry_run,
+            dst = open_store(kind, args.cache_dir)
+        try:
+            report = copy_store(src, dst)
+        finally:
+            src.close()
+            dst.close()
+        return f"copied {report.describe()}: {src.describe()} -> {dst.describe()}"
+    # Never create the store here: a typo'd --cache-dir would otherwise
+    # report a perfectly healthy empty cache instead of the mistake.
+    store = open_store(kind, args.cache_dir, must_exist=True)
+    try:
+        if args.cache_command == "stats":
+            stats = store.stats()
+            lines = [
+                f"cache {store.root} ({store.kind})",
+                f"  entries      : {stats.entries}",
+                f"  total bytes  : {stats.total_bytes}",
+                f"  digest now   : version {DIGEST_VERSION}",
+            ]
+            if stats.trace_sidecars:
+                lines.insert(
+                    3,
+                    f"  trace sidecars: {stats.trace_sidecars} ({stats.trace_bytes} bytes)",
+                )
+            if stats.versions:
+                lines.append("  versions     :")
+                for version, count in stats.versions.items():
+                    stale = "" if version == DIGEST_VERSION else "  (prunable: cache gc --digest-version)"
+                    lines.append(f"    {version:<12}: {count} entr{'y' if count == 1 else 'ies'}{stale}")
+            return "\n".join(lines)
+        if args.older_than is not None and args.older_than < 0:
+            raise ConfigurationError("--older-than must be non-negative")
+        report = store.gc(
+            older_than_s=args.older_than * 86400.0 if args.older_than is not None else None,
+            digest_version=args.digest_version,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        return (
+            f"cache {store.root}: scanned {report.scanned} entr{'y' if report.scanned == 1 else 'ies'}, "
+            f"{verb} {report.removed} ({report.reclaimed_bytes} bytes)"
+        )
+    finally:
+        store.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service import CampaignService, JobManager
+
+    if not 0 <= args.port <= 65535:
+        raise ConfigurationError(f"--port must be between 0 and 65535, got {args.port}")
+    if args.workers <= 0:
+        raise ConfigurationError("--workers must be positive")
+    store = _store_from_args(args)  # closed by main() on every exit path
+    service = CampaignService(
+        JobManager(store, workers=args.workers), host=args.host, port=args.port
     )
-    verb = "would remove" if args.dry_run else "removed"
-    return (
-        f"cache {cache.root}: scanned {report.scanned} entr{'y' if report.scanned == 1 else 'ies'}, "
-        f"{verb} {report.removed} ({report.reclaimed_bytes} bytes)"
+    print(
+        f"serving campaign results on {service.url} ({store.describe()})",
+        flush=True,
     )
+    print(
+        "endpoints: /healthz /metrics /v1/presets /v1/jobs "
+        "(POST a campaign, then GET .../result .../csv .../cells .../trace)",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    finally:
+        service.close()
+    return "server stopped"
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
@@ -766,7 +914,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     # Two modes share the subcommand; flags of one are errors in the other
     # (never silently ignored).
     timeline_only = ("bandwidth_gbs", "node_mtbf_years", "horizon_days", "max_events")
-    campaign_only = ("scenario", "csv", "cache_dir")
+    campaign_only = ("scenario", "csv", "cache_dir", "store")
     if args.campaign is not None:
         stray = [name for name in timeline_only if getattr(args, name) is not None]
         if stray:
@@ -898,6 +1046,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "worker": _cmd_worker,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 
@@ -940,6 +1089,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         runner = getattr(args, "_runner", None)
         if runner is not None:
             runner.close()
+        store = getattr(args, "_store", None)
+        if store is not None:
+            store.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

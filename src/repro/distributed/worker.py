@@ -72,8 +72,11 @@ class SpoolWorker:
     Attributes
     ----------
     spool / cache:
-        The shared work spool and result cache (both typically on a shared
-        filesystem).
+        The shared work spool and result store (both typically on a shared
+        filesystem).  Any :class:`~repro.store.ResultStore` works — the
+        worker only calls ``probe`` and ``put`` — so results can
+        be delivered through the classic directory cache or a SQLite store
+        (``coopckpt worker --store sqlite``).
     worker_id:
         Identity recorded in claim metadata and completion markers.
     poll_interval_s:
@@ -98,7 +101,7 @@ class SpoolWorker:
     """
 
     spool: WorkSpool
-    cache: ResultCache
+    cache: ResultCache  # duck-typed: any ResultStore satisfies the calls used
     worker_id: str = field(default_factory=default_worker_id)
     poll_interval_s: float = 0.5
     batch_size: int = 8

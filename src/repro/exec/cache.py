@@ -42,11 +42,12 @@ import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 from repro.exec.journal import append_record, read_records
 
-__all__ = ["CacheStats", "GcReport", "ResultCache", "atomic_write_text"]
+__all__ = ["CacheStats", "GcReport", "RawRecord", "ResultCache", "atomic_write_text"]
 
 #: Name of the per-shard index journal (hidden: never globbed as an entry).
 _INDEX_NAME = ".index.jsonl"
@@ -75,6 +76,30 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+class RawRecord(NamedTuple):
+    """One entry or sidecar as verbatim text, keyed by its cache coordinates.
+
+    The unit of store-to-store migration (:mod:`repro.store.migrate`):
+    ``body`` is the exact on-disk text, so copying raw records between
+    stores — filesystem to SQLite and back — is byte-lossless in both
+    directions, even for entries written under older digest versions.
+    """
+
+    digest: str
+    strategy: str
+    seed: int
+    body: str
+
+
+def _body_version(body: str) -> str:
+    """Digest-format version recorded in one entry body (``"corrupt"`` when
+    unparseable, mirroring :meth:`ResultCache._entry_version`)."""
+    try:
+        return str(json.loads(body).get("version", "unversioned"))
+    except (json.JSONDecodeError, AttributeError):
+        return "corrupt"
 
 
 @dataclass(frozen=True)
@@ -247,6 +272,62 @@ class ResultCache:
         text = json.dumps({**payload, "version": DIGEST_VERSION})
         atomic_write_text(path, text)
         self._journal_put("trace", path, len(text.encode("utf-8")), DIGEST_VERSION)
+
+    # ------------------------------------------------------------ raw access
+    # The migration surface used by repro.store: entries and sidecars travel
+    # as verbatim text (RawRecord), so copying a cache into another store
+    # backend and back reproduces every file byte-for-byte — including
+    # entries written under older digest versions, which a value-level copy
+    # would re-stamp.
+
+    def _raw_record(self, path: Path) -> RawRecord | None:
+        """The raw record behind one entry/sidecar path, or ``None`` for
+        files that are not cache entries (stray names, foreign layouts)."""
+        try:
+            seed = int(path.stem)
+        except ValueError:
+            return None
+        strategy = path.parent.name
+        digest = path.parent.parent.name
+        if path.parent.parent.parent.name != digest[:2]:
+            return None  # not where this digest's entries live
+        try:
+            body = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        return RawRecord(digest, strategy, seed, body)
+
+    def _iter_raw(self, suffix: str) -> Iterator[RawRecord]:
+        for path in sorted(self.root.glob(f"*/*/*/*{suffix}")):
+            record = self._raw_record(path)
+            if record is not None:
+                yield record
+
+    def iter_raw_entries(self) -> Iterator[RawRecord]:
+        """Every entry as verbatim text, in deterministic path order."""
+        return self._iter_raw(".json")
+
+    def iter_raw_traces(self) -> Iterator[RawRecord]:
+        """Every trace sidecar as verbatim text, in deterministic path order."""
+        return self._iter_raw(".trace")
+
+    def put_raw_entry(self, digest: str, strategy: str, seed: int, body: str) -> None:
+        """Store one entry's verbatim text (atomic; journal kept in sync).
+
+        The body is written unchanged — no re-encoding, no version stamp —
+        so a migrated cache is indistinguishable from the original.
+        """
+        path = self._entry_path(digest, strategy, int(seed))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, body)
+        self._journal_put("entry", path, len(body.encode("utf-8")), _body_version(body))
+
+    def put_raw_trace(self, digest: str, strategy: str, seed: int, body: str) -> None:
+        """Store one trace sidecar's verbatim text (atomic; journal kept in sync)."""
+        path = self.trace_path(digest, strategy, int(seed))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, body)
+        self._journal_put("trace", path, len(body.encode("utf-8")), _body_version(body))
 
     # ------------------------------------------------------------ maintenance
     def _entries(self) -> Iterator[Path]:
@@ -464,6 +545,15 @@ class ResultCache:
                     except OSError:
                         pass
         return GcReport(scanned=scanned, removed=removed, reclaimed_bytes=reclaimed, dry_run=dry_run)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release store resources.
+
+        A no-op for the filesystem layout (every operation is already
+        self-contained), defined so callers can close any
+        :class:`repro.store.ResultStore` uniformly.
+        """
 
     # ------------------------------------------------------------ reporting
     def __len__(self) -> int:

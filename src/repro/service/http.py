@@ -1,0 +1,310 @@
+"""The campaign-results HTTP API (``coopckpt serve``).
+
+A stdlib-only JSON API in front of one shared
+:class:`~repro.store.ResultStore` and a :class:`~repro.service.jobs.JobManager`
+— the same threaded :class:`http.server.ThreadingHTTPServer` pattern as the
+worker metrics endpoint, grown a router.  Endpoints:
+
+========================================  =====================================
+``GET  /healthz``                         liveness probe, ``{"ok": true}``
+``GET  /metrics``                         job counts, request counter, store stats
+``GET  /v1/presets``                      submittable preset campaign names
+``POST /v1/jobs``                         submit a campaign (preset / JSON / TOML)
+``GET  /v1/jobs``                         every job's snapshot
+``GET  /v1/jobs/<id>``                    one job's snapshot
+``GET  /v1/jobs/<id>/result``             finished campaign summaries (409 until done)
+``GET  /v1/jobs/<id>/csv``                the campaign CSV export (text/csv)
+``GET  /v1/jobs/<id>/cells``              cell listing; ``?scenario=&strategy=&seed=``
+``GET  /v1/jobs/<id>/trace``              waste decomposition; ``?scenario=&strategy=&rep=``
+========================================  =====================================
+
+The CSV endpoint calls the same :func:`~repro.scenarios.report.campaign_to_csv`
+as ``coopckpt campaign --csv``, on the same :class:`CampaignResult` type —
+so a served export is byte-identical to the offline one for the same
+campaign and cache.  Errors are JSON: bad requests
+(:class:`~repro.errors.ConfigurationError`) map to 400, unknown jobs/paths
+to 404, results not ready to 409, everything unexpected to 500 — a broken
+request must never take the service down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.jobs import JobManager, campaign_from_request, result_payload
+from repro.store.base import ResultStore
+
+__all__ = ["CampaignService"]
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024  # campaign matrices are small; refuse blobs
+
+
+class _HTTPStatus(Exception):
+    """A deliberate non-200 response (status + JSON error message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _single_param(query: dict[str, list[str]], name: str) -> str | None:
+    values = query.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise _HTTPStatus(400, f"duplicate query parameter {name!r}")
+    return values[0]
+
+
+def _int_param(query: dict[str, list[str]], name: str) -> int | None:
+    raw = _single_param(query, name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise _HTTPStatus(400, f"query parameter {name!r} must be an integer") from None
+
+
+class CampaignService:
+    """Serve campaign submission, results and drill-downs over HTTP.
+
+    Binds eagerly (a busy port fails construction with a
+    :class:`ConfigurationError`, which the CLI maps to exit 2); request
+    handling starts with :meth:`serve_forever` (blocking, for the CLI) or
+    :meth:`start` (background thread, for tests).  Bind to port 0 to let
+    the OS pick — the chosen port is in :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.requests = 0
+        self._lock = threading.Lock()
+        service = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+                service._handle(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib API name)
+                service._handle(self, "POST")
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # request logs belong to the client, not the server tty
+
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot serve on {host}:{port}: {exc}") from exc
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def store(self) -> ResultStore:
+        return self.manager.store
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self) -> None:
+        """Handle requests on the calling thread until :meth:`close`."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def start(self) -> "CampaignService":
+        """Handle requests on a background daemon thread (for tests)."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"serve-:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        # shutdown() waits on serve_forever's exit handshake, so calling it
+        # on a bound-but-never-served instance would block forever.
+        if self._serving:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ dispatch
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        with self._lock:
+            self.requests += 1
+        split = urlsplit(handler.path)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            status, payload = self._route(handler, method, path, query)
+        except _HTTPStatus as exc:
+            self._send_json(handler, exc.status, {"error": str(exc)})
+            return
+        except ConfigurationError as exc:
+            self._send_json(handler, 400, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self._send_json(handler, 500, {"error": str(exc)})
+            return
+        except Exception as exc:  # one bad request must not kill the service
+            self._send_json(handler, 500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if isinstance(payload, bytes):  # pre-encoded non-JSON body (CSV)
+            self._send(handler, status, payload, "text/csv; charset=utf-8")
+        else:
+            self._send_json(handler, status, payload)
+
+    def _route(
+        self,
+        handler: BaseHTTPRequestHandler,
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+    ) -> tuple[int, object]:
+        if path == "/healthz":
+            return 200, {"ok": True}
+        if path == "/metrics":
+            return 200, self._metrics()
+        if path == "/v1/presets":
+            from repro.scenarios.presets import CAMPAIGNS
+
+            return 200, {"presets": sorted(CAMPAIGNS)}
+        if path == "/v1/jobs":
+            if method == "POST":
+                body = self._read_json(handler)
+                campaign = campaign_from_request(body)
+                job = self.manager.submit(campaign)
+                return 202, job.snapshot()
+            return 200, {"jobs": [job.snapshot() for job in self.manager.jobs()]}
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HTTPStatus(405, f"{method} not allowed here")
+            parts = path.split("/")[3:]  # ["<id>"] or ["<id>", "<aspect>"]
+            if len(parts) > 2:
+                raise _HTTPStatus(404, f"unknown path {path!r}")
+            job = self.manager.get(parts[0])
+            if job is None:
+                raise _HTTPStatus(404, f"no job {parts[0]!r}")
+            aspect = parts[1] if len(parts) == 2 else None
+            if aspect is None:
+                return 200, job.snapshot()
+            if aspect in ("result", "csv", "cells"):
+                result = job.result
+                if result is None:
+                    raise _HTTPStatus(
+                        409,
+                        f"job {job.id} is {job.state}"
+                        + (f": {job.error}" if job.error else "; poll until done"),
+                    )
+                if aspect == "result":
+                    return 200, result_payload(result)
+                if aspect == "csv":
+                    from repro.scenarios.report import campaign_to_csv
+
+                    return 200, campaign_to_csv(result).encode("utf-8")
+                return 200, {
+                    "cells": self.manager.cells(
+                        job,
+                        scenario=_single_param(query, "scenario"),
+                        strategy=_single_param(query, "strategy"),
+                        seed=_int_param(query, "seed"),
+                    )
+                }
+            if aspect == "trace":
+                scenario = _single_param(query, "scenario")
+                strategy = _single_param(query, "strategy")
+                if scenario is None or strategy is None:
+                    raise _HTTPStatus(
+                        400, "trace needs ?scenario=<name>&strategy=<name>[&rep=N]"
+                    )
+                rep = _int_param(query, "rep") or 0
+                return 200, self.manager.drill(job, scenario, strategy, rep)
+            raise _HTTPStatus(404, f"unknown path {path!r}")
+        raise _HTTPStatus(
+            404,
+            f"unknown path {path!r} (try /healthz, /metrics, /v1/presets, /v1/jobs)",
+        )
+
+    # ------------------------------------------------------------ helpers
+    def _metrics(self) -> dict:
+        store = self.store
+        try:
+            stats = dataclasses.asdict(store.stats())
+        except Exception as exc:  # metrics must stay scrapeable
+            stats = {"error": repr(exc)}
+        with self._lock:
+            requests = self.requests
+        return {
+            "requests": requests,
+            "jobs": self.manager.counts(),
+            "store": {
+                "kind": store.kind,
+                "root": str(store.root),
+                "hits": store.hits,
+                "misses": store.misses,
+                "writes": store.writes,
+                "stats": stats,
+            },
+        }
+
+    def _read_json(self, handler: BaseHTTPRequestHandler) -> object:
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise _HTTPStatus(400, "bad Content-Length header") from None
+        if length <= 0:
+            raise _HTTPStatus(400, "request needs a JSON body (Content-Length)")
+        if length > _MAX_BODY_BYTES:
+            raise _HTTPStatus(413, f"body over {_MAX_BODY_BYTES} bytes")
+        raw = handler.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPStatus(400, f"body is not valid JSON: {exc}") from None
+
+    def _send_json(
+        self, handler: BaseHTTPRequestHandler, status: int, payload: object
+    ) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self._send(handler, status, body, "application/json")
+
+    def _send(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        body: bytes,
+        content_type: str,
+    ) -> None:
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", content_type)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage

@@ -1,0 +1,345 @@
+"""Campaign jobs: background execution behind the results service.
+
+:class:`JobManager` turns a submitted :class:`~repro.scenarios.campaign.Campaign`
+into a :class:`CampaignJob` running on a daemon thread through the ordinary
+:class:`~repro.scenarios.runner.CampaignRunner` — the service layer adds
+*no* execution semantics of its own, so a job's
+:class:`~repro.scenarios.runner.CampaignResult` is repr-identical to the
+same campaign run from the CLI against the same store.  All jobs share one
+:class:`~repro.store.ResultStore`, which is the whole point: every seed a
+job simulates warms the store for every later job (and every CLI user),
+and a re-submitted campaign is served entirely from cache.
+
+Progress is observed through the runner's
+:class:`~repro.exec.runner.ProgressEvent` stream: each (scenario, strategy)
+cell emits a final event with ``completed == total``, which is what
+advances the job's ``cells_done`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Mapping
+
+from repro.errors import ConfigurationError
+from repro.exec.digest import config_digest
+from repro.exec.runner import ParallelRunner, ProgressEvent
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.runner import CampaignResult, CampaignRunner
+from repro.stats.montecarlo import derive_seeds
+from repro.store.base import ResultStore
+
+__all__ = ["CampaignJob", "JobManager", "campaign_from_request", "result_payload"]
+
+
+def campaign_from_request(body: Mapping) -> Campaign:
+    """Build a campaign from one submitted JSON request body.
+
+    Accepted shapes (exactly one source):
+
+    * ``{"preset": "smoke", ...}`` — a named preset, with optional
+      ``num_runs`` / ``horizon_days`` / ``strategies`` overrides;
+    * ``{"campaign": {...}}`` — an inline campaign matrix, the same schema
+      ``Campaign.from_file`` reads from JSON files;
+    * ``{"toml": "..."}`` — a campaign matrix as TOML text, the same schema
+      ``Campaign.from_file`` reads from TOML files.
+    """
+    if not isinstance(body, Mapping):
+        raise ConfigurationError("request body must be a JSON object")
+    sources = [key for key in ("preset", "campaign", "toml") if key in body]
+    if len(sources) != 1:
+        raise ConfigurationError(
+            "submit exactly one campaign source: 'preset', 'campaign' (inline "
+            "JSON matrix) or 'toml' (matrix as TOML text)"
+        )
+    overrides: dict[str, object] = {}
+    num_runs = body.get("num_runs")
+    if num_runs is not None:
+        if not isinstance(num_runs, int) or num_runs <= 0:
+            raise ConfigurationError("num_runs must be a positive integer")
+        overrides["num_runs"] = num_runs
+    horizon_days = body.get("horizon_days")
+    if horizon_days is not None:
+        if not isinstance(horizon_days, (int, float)) or horizon_days <= 0:
+            raise ConfigurationError("horizon_days must be a positive number")
+        overrides["horizon_days"] = float(horizon_days)
+    strategies = body.get("strategies")
+    if strategies is not None:
+        if not isinstance(strategies, list) or not all(
+            isinstance(s, str) for s in strategies
+        ):
+            raise ConfigurationError("strategies must be an array of spec strings")
+        overrides["strategies"] = tuple(strategies)
+
+    source = sources[0]
+    if source == "preset":
+        from repro.scenarios.presets import make_campaign
+
+        preset = body["preset"]
+        if not isinstance(preset, str):
+            raise ConfigurationError("preset must be a string")
+        return make_campaign(preset, **overrides)
+    if overrides:
+        raise ConfigurationError(
+            "num_runs/horizon_days/strategies overrides only apply to presets; "
+            "edit the submitted matrix instead"
+        )
+    if source == "campaign":
+        data = body["campaign"]
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("'campaign' must be a JSON object (the matrix)")
+        return Campaign.from_mapping(data, source="<submitted campaign>")
+    try:
+        import tomllib
+    except ModuleNotFoundError as exc:  # pragma: no cover - py3.10
+        raise ConfigurationError(
+            "TOML submissions need Python 3.11+ (tomllib) on the server; "
+            "submit the matrix as inline JSON under 'campaign' instead"
+        ) from exc
+    toml_text = body["toml"]
+    if not isinstance(toml_text, str):
+        raise ConfigurationError("'toml' must be a string (the matrix as TOML text)")
+    try:
+        data = tomllib.loads(toml_text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigurationError(f"cannot parse submitted TOML: {exc}") from exc
+    return Campaign.from_mapping(data, source="<submitted toml>")
+
+
+class CampaignJob:
+    """One submitted campaign and its lifecycle.
+
+    States: ``queued`` → ``running`` → ``done`` | ``failed``.  All mutable
+    fields are guarded by ``_lock``; :meth:`snapshot` is the thread-safe
+    read the HTTP layer serves.
+    """
+
+    def __init__(self, job_id: str, campaign: Campaign) -> None:
+        self.id = job_id
+        self.campaign = campaign
+        self.scenarios = campaign.scenarios()  # expanded once, reused everywhere
+        self.state = "queued"
+        self.error: str | None = None
+        self.result: CampaignResult | None = None
+        self.created_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.cells_total = sum(len(s.strategies) for s in self.scenarios)
+        self.cells_done = 0
+        self.current_cell: str | None = None
+        self.seeds_cached = 0
+        self.seeds_simulated = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ progress
+    def on_progress(self, event: ProgressEvent) -> None:
+        """Advance the job's counters from one runner progress event."""
+        with self._lock:
+            self.current_cell = event.label
+            if event.completed >= event.total:
+                # Every cell ends in exactly one completed==total event
+                # (all-cached cells emit it up-front, simulated cells from
+                # their final seed), so this counts finished cells.
+                self.cells_done += 1
+                self.current_cell = None
+                self.seeds_cached += event.cached
+                self.seeds_simulated += event.total - event.cached
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of the job (no result payload; see ``/result``)."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "campaign": self.campaign.name,
+                "state": self.state,
+                "error": self.error,
+                "cells_total": self.cells_total,
+                "cells_done": self.cells_done,
+                "current_cell": self.current_cell,
+                "seeds_cached": self.seeds_cached,
+                "seeds_simulated": self.seeds_simulated,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            }
+
+
+def result_payload(result: CampaignResult) -> dict:
+    """One finished campaign as JSON (floats repr-exact via ``json.dumps``)."""
+    return {
+        "campaign": result.campaign,
+        "strategies": list(result.strategies),
+        "outcomes": [
+            {
+                "scenario": outcome.scenario.name,
+                "best": outcome.best_strategy(),
+                "summaries": {
+                    strategy: summary.as_dict()
+                    for strategy, summary in outcome.summaries.items()
+                },
+            }
+            for outcome in result.outcomes
+        ],
+    }
+
+
+class JobManager:
+    """Submits, tracks and queries campaign jobs over one shared store."""
+
+    def __init__(self, store: ResultStore, *, workers: int = 1) -> None:
+        if workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        self.store = store
+        self.workers = workers
+        self._jobs: dict[str, CampaignJob] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # ------------------------------------------------------------ execution
+    def _make_runner(self, progress) -> ParallelRunner:
+        return ParallelRunner(
+            backend="process" if self.workers > 1 else "serial",
+            workers=self.workers,
+            cache=self.store,
+            progress=progress,
+        )
+
+    def submit(self, campaign: Campaign) -> CampaignJob:
+        """Register ``campaign`` and start running it on a daemon thread."""
+        with self._lock:
+            self._counter += 1
+            job = CampaignJob(f"job-{self._counter:04d}", campaign)
+            self._jobs[job.id] = job
+        thread = threading.Thread(target=self._run, args=(job,), name=job.id, daemon=True)
+        thread.start()
+        return job
+
+    def _run(self, job: CampaignJob) -> None:
+        with job._lock:
+            job.state = "running"
+            job.started_at = time.time()
+        try:
+            runner = self._make_runner(job.on_progress)
+            try:
+                result = CampaignRunner(runner=runner).run(job.campaign)
+            finally:
+                runner.close()
+            with job._lock:
+                job.result = result
+                job.state = "done"
+                job.finished_at = time.time()
+        except Exception as exc:  # a failed job must never kill the service
+            with job._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                job.finished_at = time.time()
+
+    # ------------------------------------------------------------ queries
+    def get(self, job_id: str) -> CampaignJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[CampaignJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------ cells
+    def cells(
+        self,
+        job: CampaignJob,
+        *,
+        scenario: str | None = None,
+        strategy: str | None = None,
+        seed: int | None = None,
+    ) -> list[dict]:
+        """Filterable per-(scenario, strategy) cell listing of one done job.
+
+        Each record carries the cell's summary statistics, its store
+        coordinates (config digest + derived seeds) and the per-seed values
+        currently held by the shared store — the self-serve answer to
+        "which simulated node-seconds back this number".  ``seed`` filters
+        to cells whose derived seeds include that exact seed.
+        """
+        result = job.result
+        if result is None:
+            raise ConfigurationError(f"job {job.id} has no result (state: {job.state})")
+        from repro.iosched.registry import resolved_strategy_spec
+
+        records: list[dict] = []
+        for outcome in result.outcomes:
+            if scenario is not None and outcome.scenario.name != scenario:
+                continue
+            cell_scenario = outcome.scenario
+            seeds = (
+                list(derive_seeds(cell_scenario.base_seed, cell_scenario.num_runs))
+                if cell_scenario.base_seed is not None
+                else None
+            )
+            best = outcome.best_strategy()
+            for cell_strategy in result.strategies:
+                if cell_strategy not in outcome.summaries:
+                    continue
+                if strategy is not None and cell_strategy != strategy:
+                    continue
+                wanted = seeds
+                if seed is not None:
+                    if seeds is None or seed not in seeds:
+                        continue
+                    wanted = [seed]
+                digest = config_digest(cell_scenario.config(cell_strategy))
+                try:
+                    spec = resolved_strategy_spec(
+                        cell_strategy, fixed_period_s=cell_scenario.fixed_period_s
+                    )
+                except ConfigurationError:
+                    spec = cell_strategy  # unregistered plugin kind: degrade
+                record = {
+                    "scenario": cell_scenario.name,
+                    "strategy": cell_strategy,
+                    "spec": spec,
+                    "best": cell_strategy == best,
+                    "digest": digest,
+                    "stats": outcome.summaries[cell_strategy].as_dict(),
+                }
+                if wanted is not None:
+                    record["seeds"] = wanted
+                    record["values"] = {
+                        str(s): self.store.probe(digest, cell_strategy, s)
+                        for s in wanted
+                    }
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------ drill-down
+    def drill(
+        self, job: CampaignJob, scenario_name: str, strategy: str, rep: int = 0
+    ) -> dict:
+        """Waste decomposition of one cell of ``job``, as a JSON payload.
+
+        Served through :mod:`repro.trace`: replayed for free from the
+        store's trace sidecar when one exists, otherwise re-simulated once
+        (which also warms the store for the next caller).
+        """
+        by_name = {s.name: s for s in job.scenarios}
+        scenario = by_name.get(scenario_name)
+        if scenario is None:
+            names = ", ".join(repr(name) for name in by_name)
+            raise ConfigurationError(
+                f"no scenario named {scenario_name!r} in job {job.id}; "
+                f"known scenarios: {names}"
+            )
+        runner = ParallelRunner(cache=self.store)
+        try:
+            decomposition = CampaignRunner(runner=runner).drill_down(
+                scenario, strategy, rep
+            )
+        finally:
+            runner.close()
+        return decomposition.to_payload()

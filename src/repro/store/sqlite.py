@@ -1,0 +1,456 @@
+"""The ``"sqlite"`` store: one WAL-mode database file.
+
+Where the filesystem layout spends one file (and one inode, and one PFS
+round-trip) per entry, :class:`SqliteStore` keeps an entire cache in a
+single schema-versioned SQLite file — entries, trace sidecars and the
+aggregates behind ``cache stats`` all become indexed tables, so stats and
+gc are one query instead of a directory walk, and shipping a warm cache to
+another machine is one ``scp``.
+
+Semantics are identical to the filesystem store by construction:
+
+* Every record stores the *verbatim JSON text* the filesystem layout would
+  have written (``body``), alongside extracted indexed columns.  Migration
+  (:mod:`repro.store.migrate`) copies bodies unchanged, so a cache
+  round-tripped through SQLite and back is byte-identical — older-version
+  and even corrupt entries included.
+* Values are IEEE-754 doubles end to end (SQLite ``REAL`` is a double), so
+  a hit is repr-exact; non-finite or unparseable records read as misses
+  and are re-simulated, never propagated.
+* Concurrency follows the cache's story: WAL mode gives many readers plus
+  one writer at a time, a generous busy timeout serialises writers
+  (threads in this process via one connection per thread, other processes
+  via SQLite's own locking), and racing writers of the same key store the
+  same deterministic bytes.
+
+The schema is versioned in the ``meta`` table with the spool's contract: a
+database pinned to a *newer* schema than the code understands is refused
+loudly, never misread.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sqlite3
+import threading
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import CacheStats, GcReport, RawRecord
+from repro.store.base import ResultStore, register_store
+
+__all__ = ["SCHEMA_VERSION", "SqliteStore"]
+
+#: On-file schema layout version (meta table, key ``schema_version``).
+SCHEMA_VERSION = 1
+
+#: How long a writer waits for the database lock before failing.
+_BUSY_TIMEOUT_S = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    digest   TEXT    NOT NULL,
+    strategy TEXT    NOT NULL,
+    seed     INTEGER NOT NULL,
+    value    REAL,
+    version  TEXT    NOT NULL,
+    body     TEXT    NOT NULL,
+    size     INTEGER NOT NULL,
+    mtime    REAL    NOT NULL,
+    PRIMARY KEY (digest, strategy, seed)
+);
+CREATE TABLE IF NOT EXISTS traces (
+    digest   TEXT    NOT NULL,
+    strategy TEXT    NOT NULL,
+    seed     INTEGER NOT NULL,
+    version  TEXT    NOT NULL,
+    body     TEXT    NOT NULL,
+    size     INTEGER NOT NULL,
+    mtime    REAL    NOT NULL,
+    PRIMARY KEY (digest, strategy, seed)
+);
+CREATE INDEX IF NOT EXISTS entries_version ON entries (version);
+"""
+
+
+def _entry_columns(body: str) -> tuple[float | None, str]:
+    """``(value, version)`` columns extracted from one entry body.
+
+    Mirrors the filesystem read path: unparseable bodies are ``"corrupt"``
+    (matching ``ResultCache._entry_version``), and missing/mistyped or
+    non-finite values are stored as NULL so :meth:`SqliteStore.get` misses
+    on them exactly like :meth:`ResultCache.get` does.
+    """
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        return None, "corrupt"
+    if not isinstance(payload, dict):
+        return None, "corrupt"
+    version = str(payload.get("version", "unversioned"))
+    try:
+        value = float(payload["value"])
+    except (KeyError, TypeError, ValueError):
+        return None, version
+    if not math.isfinite(value):
+        return None, version
+    return value, version
+
+
+def _trace_version(body: str) -> str:
+    try:
+        payload = json.loads(body)
+        if isinstance(payload, dict):
+            return str(payload.get("version", "unversioned"))
+    except json.JSONDecodeError:
+        pass
+    return "corrupt"
+
+
+class SqliteStore(ResultStore):
+    """Persistent ``(config digest, strategy, seed) -> float`` mapping in
+    one SQLite file (entries + trace sidecars + stats in tables)."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.root = Path(path)
+        if self.root.is_dir():
+            raise ConfigurationError(
+                f"sqlite store path {self.root} is a directory (expected a database file)"
+            )
+        self.root.parent.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._closed = False
+        self._connect()  # create or validate the schema eagerly
+
+    # ------------------------------------------------------------ connections
+    def _connect(self) -> sqlite3.Connection:
+        """This thread's connection (one per thread; created on first use).
+
+        ``check_same_thread=False`` only so :meth:`close` may close every
+        connection from one thread — each connection is otherwise used
+        exclusively by the thread that created it.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        if self._closed:
+            raise ConfigurationError(f"sqlite store {self.root} is closed")
+        conn = sqlite3.connect(
+            str(self.root),
+            timeout=_BUSY_TIMEOUT_S,
+            isolation_level=None,  # autocommit; explicit BEGIN where needed
+            check_same_thread=False,
+        )
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._ensure_schema(conn)
+        except sqlite3.DatabaseError as exc:
+            conn.close()
+            raise ConfigurationError(
+                f"{self.root} is not a sqlite result store: {exc}"
+            ) from exc
+        self._local.conn = conn
+        with self._connections_lock:
+            self._connections.append(conn)
+        return conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # One statement at a time: executescript would implicitly commit,
+            # breaking the single-transaction create-and-version guarantee.
+            for statement in _SCHEMA.split(";"):
+                if statement.strip():
+                    conn.execute(statement)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            else:
+                try:
+                    found = int(row[0])
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"{self.root}: unreadable schema version {row[0]!r}"
+                    ) from exc
+                if found > SCHEMA_VERSION:
+                    # The spool's layout contract, applied to stores: newer
+                    # layouts are refused loudly, never misread.
+                    raise ConfigurationError(
+                        f"{self.root} uses store schema v{found}, newer than "
+                        f"this build understands (v{SCHEMA_VERSION}); upgrade "
+                        "coopckpt instead of opening it with old code"
+                    )
+        finally:
+            conn.execute("COMMIT")
+
+    # ------------------------------------------------------------ values
+    def get(self, digest: str, strategy: str, seed: int) -> float | None:
+        try:
+            row = self._connect().execute(
+                "SELECT value FROM entries WHERE digest = ? AND strategy = ? AND seed = ?",
+                (digest, strategy, int(seed)),
+            ).fetchone()
+        except sqlite3.Error:
+            # A contended or damaged database reads as a miss, mirroring the
+            # filesystem store: the seed is re-simulated, never crashed on.
+            row = None
+        if row is None or row[0] is None:
+            self.misses += 1
+            return None
+        value = float(row[0])
+        if not math.isfinite(value):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, strategy: str, seed: int, value: float) -> None:
+        from repro.exec.digest import DIGEST_VERSION
+
+        entry = {
+            "digest": digest,
+            "strategy": strategy,
+            "seed": int(seed),
+            "value": float(value),
+            "version": DIGEST_VERSION,
+        }
+        # The body is exactly what the filesystem layout would write, so
+        # exporting this store reproduces a byte-identical directory tree.
+        body = json.dumps(entry)
+        self._connect().execute(
+            "INSERT OR REPLACE INTO entries"
+            " (digest, strategy, seed, value, version, body, size, mtime)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                digest,
+                strategy,
+                int(seed),
+                float(value),
+                DIGEST_VERSION,
+                body,
+                len(body.encode("utf-8")),
+                time.time(),
+            ),
+        )
+        self.writes += 1
+
+    # ------------------------------------------------------------ sidecars
+    def get_trace(self, digest: str, strategy: str, seed: int) -> dict | None:
+        from repro.exec.digest import DIGEST_VERSION
+
+        try:
+            row = self._connect().execute(
+                "SELECT body FROM traces WHERE digest = ? AND strategy = ? AND seed = ?",
+                (digest, strategy, int(seed)),
+            ).fetchone()
+        except sqlite3.Error:
+            row = None
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != DIGEST_VERSION:
+            return None
+        return payload
+
+    def put_trace(self, digest: str, strategy: str, seed: int, payload: dict) -> None:
+        from repro.exec.digest import DIGEST_VERSION
+
+        body = json.dumps({**payload, "version": DIGEST_VERSION})
+        self._put_trace_row(digest, strategy, seed, DIGEST_VERSION, body)
+
+    def _put_trace_row(
+        self, digest: str, strategy: str, seed: int, version: str, body: str
+    ) -> None:
+        self._connect().execute(
+            "INSERT OR REPLACE INTO traces"
+            " (digest, strategy, seed, version, body, size, mtime)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                digest,
+                strategy,
+                int(seed),
+                version,
+                body,
+                len(body.encode("utf-8")),
+                time.time(),
+            ),
+        )
+
+    # ------------------------------------------------------------ raw access
+    def _iter_raw(self, table: str) -> Iterator[RawRecord]:
+        cursor = self._connect().execute(
+            f"SELECT digest, strategy, seed, body FROM {table}"  # noqa: S608
+            " ORDER BY digest, strategy, seed"
+        )
+        for digest, strategy, seed, body in cursor:
+            yield RawRecord(str(digest), str(strategy), int(seed), str(body))
+
+    def iter_raw_entries(self) -> Iterator[RawRecord]:
+        return self._iter_raw("entries")
+
+    def iter_raw_traces(self) -> Iterator[RawRecord]:
+        return self._iter_raw("traces")
+
+    def put_raw_entry(self, digest: str, strategy: str, seed: int, body: str) -> None:
+        value, version = _entry_columns(body)
+        self._connect().execute(
+            "INSERT OR REPLACE INTO entries"
+            " (digest, strategy, seed, value, version, body, size, mtime)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                digest,
+                strategy,
+                int(seed),
+                value,
+                version,
+                body,
+                len(body.encode("utf-8")),
+                time.time(),
+            ),
+        )
+
+    def put_raw_trace(self, digest: str, strategy: str, seed: int, body: str) -> None:
+        self._put_trace_row(digest, strategy, seed, _trace_version(body), body)
+
+    # ------------------------------------------------------------ maintenance
+    def stats(self) -> CacheStats:
+        """One aggregate query per table — no walk, whatever the entry count."""
+        conn = self._connect()
+        entries = 0
+        total_bytes = 0
+        versions: dict[str, int] = {}
+        for version, count, size in conn.execute(
+            "SELECT version, COUNT(*), COALESCE(SUM(size), 0) FROM entries GROUP BY version"
+        ):
+            entries += int(count)
+            total_bytes += int(size)
+            versions[str(version)] = int(count)
+        trace_sidecars, trace_bytes = conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(size), 0) FROM traces"
+        ).fetchone()
+        return CacheStats(
+            entries=entries,
+            total_bytes=total_bytes,
+            versions=dict(sorted(versions.items())),
+            trace_sidecars=int(trace_sidecars),
+            trace_bytes=int(trace_bytes),
+        )
+
+    def gc(
+        self,
+        *,
+        older_than_s: float | None = None,
+        digest_version: str | None = None,
+        dry_run: bool = False,
+    ) -> GcReport:
+        """Prune by age and/or digest version; same semantics as the
+        filesystem store (either criterion removes; a removed entry takes
+        its sidecar; orphaned sidecars are swept by any criteria-bearing
+        pass; ``dry_run`` counts without deleting)."""
+        conn = self._connect()
+        if older_than_s is None and digest_version is None:
+            return GcReport(scanned=len(self), dry_run=dry_run)
+        conditions: list[str] = []
+        params: list[object] = []
+        if older_than_s is not None:
+            conditions.append("(? - {p}mtime) > ?")
+            params.extend([time.time(), float(older_than_s)])
+        if digest_version is not None:
+            conditions.append("{p}version = ?")
+            params.append(digest_version)
+        where = " OR ".join(conditions)
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            scanned = int(conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+            doomed = conn.execute(
+                "SELECT e.size + COALESCE(t.size, 0) FROM entries e"
+                " LEFT JOIN traces t ON t.digest = e.digest"
+                "  AND t.strategy = e.strategy AND t.seed = e.seed"
+                f" WHERE {where.format(p='e.')}",  # noqa: S608 (literal conditions)
+                params,
+            ).fetchall()
+            removed = len(doomed)
+            reclaimed = sum(int(size) for (size,) in doomed)
+            orphans = conn.execute(
+                "SELECT t.size FROM traces t LEFT JOIN entries e"
+                " ON e.digest = t.digest AND e.strategy = t.strategy AND e.seed = t.seed"
+                " WHERE e.digest IS NULL"
+            ).fetchall()
+            removed += len(orphans)
+            reclaimed += sum(int(size) for (size,) in orphans)
+            if not dry_run and removed:
+                conn.execute(  # noqa: S608 (literal conditions)
+                    f"DELETE FROM entries WHERE {where.format(p='')}", params
+                )
+                # Sidecars of the pruned entries plus the pre-existing
+                # orphans — exactly the set counted above.
+                conn.execute(
+                    "DELETE FROM traces WHERE NOT EXISTS ("
+                    " SELECT 1 FROM entries e WHERE e.digest = traces.digest"
+                    "  AND e.strategy = traces.strategy AND e.seed = traces.seed)"
+                )
+        finally:
+            conn.execute("COMMIT")
+        return GcReport(
+            scanned=scanned, removed=removed, reclaimed_bytes=reclaimed, dry_run=dry_run
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Checkpoint the WAL and close every connection (idempotent)."""
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+            self._closed = True
+        for conn in connections:
+            try:
+                # Fold the write-ahead log back into the main file so the
+                # closed database is one self-contained artifact.
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ reporting
+    def __len__(self) -> int:
+        return int(self._connect().execute("SELECT COUNT(*) FROM entries").fetchone()[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"SqliteStore(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+
+def _make_sqlite_store(path: str | os.PathLike[str]) -> SqliteStore:
+    return SqliteStore(path)
+
+
+register_store("sqlite", _make_sqlite_store)
