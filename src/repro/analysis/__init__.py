@@ -1,0 +1,34 @@
+"""Static contract analysis for the repro tree.
+
+``repro.analysis`` is an AST-based linter that turns the project's prose
+contracts (ROADMAP "standing contracts") into mechanical checks:
+
+* ``determinism`` — no wall clock, global RNG or unordered set iteration
+  in the simulation path;
+* ``fsops`` — every filesystem side effect in the spool layer routes
+  through the fault-injectable choke point;
+* ``digest-drift`` — the digest-relevant config field set matches the
+  committed manifest, or DIGEST_VERSION was bumped in the same diff;
+* ``locks`` — lock-guarded fields are never written outside the lock;
+* ``registry`` — registered plugins implement their full interface with
+  compatible signatures.
+
+Run it with ``coopckpt lint`` or ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Checker, Finding, Pragma, Project
+from repro.analysis.checkers import ALL_CHECKERS, make_checkers
+from repro.analysis.engine import LintReport, run_lint
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Pragma",
+    "Project",
+    "make_checkers",
+    "run_lint",
+]

@@ -1,0 +1,278 @@
+"""Core types of the contract linter: findings, modules, pragmas, checkers.
+
+The linter operates on a *project*: a source root (normally ``src/``)
+holding the ``repro`` package tree.  Every Python file under the root is
+parsed once into a :class:`ModuleInfo` — AST, source lines, dotted module
+name and the ``# repro: allow[rule]`` suppression pragmas it carries — and
+each checker walks those modules to emit :class:`Finding` records.
+
+Pragma syntax (one comment, same line as the violation or the line
+directly above it)::
+
+    value = time.time()  # repro: allow[determinism] lease stamps are wall-clock by design
+    # repro: allow[fsops] journal appends are whole-line atomic on POSIX
+    handle.write(line)
+
+The reason text after the closing bracket is **mandatory**: a pragma with
+no reason is itself reported (rule ``pragma``), as is a pragma that
+suppresses nothing — suppressions must never outlive the violation they
+excuse.  Several rules may share one pragma: ``allow[determinism,fsops]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ImportMap",
+    "ModuleInfo",
+    "Pragma",
+    "Project",
+    "module_matches",
+]
+
+#: ``# repro: allow[rule1,rule2] reason...`` — the reason is everything after
+#: the bracket (optionally introduced by ``--`` or ``:``).
+_PRAGMA_RE = re.compile(
+    r"\A#\s*repro:\s*allow\[(?P<rules>[a-z0-9_,\s-]+)\]\s*(?:--|:)?\s*(?P<reason>.*)$"
+)
+
+#: A comment that *intends* to be a pragma (used to report malformed ones).
+_PRAGMA_INTRO_RE = re.compile(r"\A#\s*repro:\s*allow")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a specific source location."""
+
+    rule: str
+    path: str  #: source-root-relative POSIX path
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used by the baseline (survives edits
+        that only move code around)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+
+class ImportMap:
+    """Resolves names in one module to dotted origins, through its imports.
+
+    ``import os`` maps ``os`` → ``os``; ``from repro.distributed import
+    fsops`` maps ``fsops`` → ``repro.distributed.fsops``; ``from time import
+    time as now`` maps ``now`` → ``time.time``.  :meth:`resolve` walks an
+    expression like ``fsops.write_text`` back to
+    ``"repro.distributed.fsops.write_text"`` (or ``None`` when the head name
+    is not an import — a local variable, say).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    origin = alias.name if alias.asname else alias.name.partition(".")[0]
+                    self._names[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def origin(self, name: str) -> str | None:
+        """Dotted origin of one imported local name (``None`` if not imported)."""
+        return self._names.get(name)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a ``Name``/``Attribute`` chain, or ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self._names.get(node.id, node.id)
+        return ".".join([head, *reversed(parts)])
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file of the project."""
+
+    name: str  #: dotted module name relative to the source root
+    path: Path  #: absolute path on disk
+    relpath: str  #: source-root-relative POSIX path (what findings report)
+    source: str
+    tree: ast.Module
+    pragmas: tuple[Pragma, ...]
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap(self.tree)
+
+    def pragma_for(self, rule: str, line: int) -> Pragma | None:
+        """The pragma (if any) covering ``rule`` at ``line``: same line, or a
+        comment-only pragma on the line directly above."""
+        for pragma in self.pragmas:
+            if rule in pragma.rules and pragma.line in (line, line - 1):
+                return pragma
+        return None
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, int, str]]:
+    """(line, col, text) of every real comment token — docstrings that merely
+    *show* a pragma (like the one above) must not parse as pragmas."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        return  # the ast.parse pass reports the syntax problem
+
+
+def _parse_pragmas(source: str, relpath: str) -> tuple[tuple[Pragma, ...], list[Finding]]:
+    """Extract pragmas; malformed ones (no reason) become findings."""
+    pragmas: list[Pragma] = []
+    problems: list[Finding] = []
+    for lineno, col, text in _comment_tokens(source):
+        match = _PRAGMA_RE.match(text)
+        if match is None:
+            if _PRAGMA_INTRO_RE.match(text):
+                problems.append(
+                    Finding(
+                        rule="pragma",
+                        path=relpath,
+                        line=lineno,
+                        col=col,
+                        message="malformed pragma; expected "
+                        "'# repro: allow[rule] <reason>'",
+                    )
+                )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason").strip()
+        if not reason:
+            problems.append(
+                Finding(
+                    rule="pragma",
+                    path=relpath,
+                    line=lineno,
+                    col=col,
+                    message=f"pragma allow[{','.join(rules)}] has no reason text; "
+                    "every suppression must say why it is safe",
+                )
+            )
+            continue
+        pragmas.append(Pragma(line=lineno, rules=rules, reason=reason))
+    return tuple(pragmas), problems
+
+
+class Project:
+    """Every parsed module under one source root."""
+
+    def __init__(self, root: Path, modules: list[ModuleInfo], problems: list[Finding]):
+        self.root = root
+        self.modules = modules
+        #: Findings produced while loading (syntax errors, malformed pragmas).
+        self.load_problems = problems
+        self._by_name = {module.name: module for module in modules}
+
+    @classmethod
+    def load(cls, root: str | Path) -> "Project":
+        """Parse every ``*.py`` file under ``root`` (deterministic order)."""
+        root = Path(root).resolve()
+        if not root.is_dir():
+            raise ConfigurationError(f"no source root at {root}")
+        modules: list[ModuleInfo] = []
+        problems: list[Finding] = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            parts = list(path.relative_to(root).with_suffix("").parts)
+            if parts[-1] == "__init__":
+                parts.pop()
+            name = ".".join(parts)
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                problems.append(
+                    Finding(
+                        rule="parse",
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"cannot parse: {exc.msg}",
+                    )
+                )
+                continue
+            pragmas, pragma_problems = _parse_pragmas(source, relpath)
+            problems.extend(pragma_problems)
+            modules.append(
+                ModuleInfo(
+                    name=name, path=path, relpath=relpath, source=source,
+                    tree=tree, pragmas=pragmas,
+                )
+            )
+        return cls(root, modules, problems)
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self._by_name.get(name)
+
+    def matching(self, prefixes: Iterable[str]) -> Iterator[ModuleInfo]:
+        """Modules whose dotted name falls under any of ``prefixes``."""
+        for module in self.modules:
+            if module_matches(module.name, prefixes):
+                yield module
+
+
+def module_matches(name: str, prefixes: Iterable[str]) -> bool:
+    """True when dotted ``name`` equals or falls under any dotted prefix."""
+    return any(name == prefix or name.startswith(prefix + ".") for prefix in prefixes)
+
+
+class Checker:
+    """Base class of contract checkers.
+
+    A checker declares its ``rule`` name and implements :meth:`check`,
+    yielding findings over the whole project (most checkers iterate the
+    modules selected by their policy in :mod:`repro.analysis.policy`).
+    """
+
+    #: Rule name (what pragmas and ``--rule`` select).
+    rule = "abstract"
+    #: One-line description shown by ``coopckpt lint --list-rules``.
+    description = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError

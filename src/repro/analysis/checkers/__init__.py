@@ -1,0 +1,37 @@
+"""The contract checkers, in the order ``coopckpt lint`` runs them."""
+
+from __future__ import annotations
+
+from repro.analysis.base import Checker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.digest_drift import DigestDriftChecker
+from repro.analysis.checkers.fsops import FsopsChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.registries import RegistryConformanceChecker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DeterminismChecker",
+    "DigestDriftChecker",
+    "FsopsChecker",
+    "LockDisciplineChecker",
+    "RegistryConformanceChecker",
+    "make_checkers",
+]
+
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    DeterminismChecker,
+    FsopsChecker,
+    DigestDriftChecker,
+    LockDisciplineChecker,
+    RegistryConformanceChecker,
+)
+
+
+def make_checkers(rules: list[str] | None = None) -> list[Checker]:
+    """Instantiate the selected checkers (all of them by default)."""
+    selected = []
+    for cls in ALL_CHECKERS:
+        if rules is None or cls.rule in rules:
+            selected.append(cls())
+    return selected

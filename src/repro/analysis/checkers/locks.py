@@ -1,0 +1,163 @@
+"""Guarded-by-lock checker: lock-guarded fields stay lock-guarded.
+
+The service and store layers follow one convention: a class that mutates
+shared state under ``with self._lock:`` (any ``self.*lock*`` attribute)
+treats every field it assigns there as *guarded by that lock* — readers
+snapshot under the lock, writers never touch the field outside it.  The
+convention is easy to state and easy to silently break: one new handler
+method assigning ``self.cells_done`` without the ``with`` compiles, passes
+single-threaded tests, and loses updates in production.
+
+This checker makes the convention mechanical.  Per class in
+:data:`repro.analysis.policy.LOCK_TARGETS`:
+
+1. collect the *guarded set*: every ``self.X`` assigned (plain, augmented,
+   annotated or tuple-unpacked) lexically inside a ``with self.<lock>:``
+   block, for each lock attribute whose name contains ``lock``;
+2. flag every assignment to a guarded field outside such a block.
+
+``__init__``/``__post_init__`` are exempt: they run before the object is
+shared, which is the same reasoning the convention itself rests on.
+Nested ``class``/``def`` scopes get their own ``self``, so they are
+analysed separately and never leak writes into the enclosing class.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis import policy
+from repro.analysis.base import Checker, Finding, ModuleInfo, Project
+
+__all__ = ["LockDisciplineChecker"]
+
+_CONSTRUCTORS = ("__init__", "__post_init__", "__new__")
+
+
+def _lock_name(item: ast.withitem) -> str | None:
+    """The attribute name of a ``with self.<lock>:`` context item."""
+    expr = item.context_expr
+    # `with self._lock:` and `with self._lock, other:` both count; so does
+    # an acquire through a helper like `self._lock.acquire()` NOT — only the
+    # context-manager form is recognised, which is the codebase idiom.
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    ):
+        return expr.attr
+    return None
+
+
+def _self_targets(node: ast.stmt) -> Iterator[ast.Attribute]:
+    """``self.X`` attribute targets of one assignment statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        yield from _attribute_targets(target)
+
+
+def _attribute_targets(target: ast.expr) -> Iterator[ast.Attribute]:
+    if isinstance(target, ast.Attribute):
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _attribute_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _attribute_targets(target.value)
+
+
+class _ClassScan:
+    """One pass over a class body collecting writes in/out of lock blocks."""
+
+    def __init__(self, class_node: ast.ClassDef) -> None:
+        #: field -> lock names it was assigned under
+        self.guarded: dict[str, set[str]] = {}
+        #: (field, node, method name) for writes outside any lock block
+        self.unguarded: list[tuple[str, ast.Attribute, str]] = []
+        for method in class_node.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_method(method)
+
+    def _walk_method(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        exempt = method.name in _CONSTRUCTORS
+        self._walk(list(method.body), method.name, held=frozenset(), exempt=exempt)
+
+    def _walk(
+        self,
+        statements: list[ast.stmt],
+        method_name: str,
+        held: frozenset[str],
+        exempt: bool,
+    ) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # a nested scope has its own `self`
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                for attr in _self_targets(stmt):
+                    if held:
+                        for lock in held:
+                            self.guarded.setdefault(attr.attr, set()).add(lock)
+                    elif not exempt:
+                        self.unguarded.append((attr.attr, attr, method_name))
+            now_held = held
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locks = {name for item in stmt.items if (name := _lock_name(item))}
+                now_held = held | locks
+                self._walk(list(stmt.body), method_name, now_held, exempt)
+                continue
+            for body in _sub_bodies(stmt):
+                self._walk(body, method_name, held, exempt)
+
+
+def _sub_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field_name, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+class LockDisciplineChecker(Checker):
+    rule = "locks"
+    description = (
+        "fields assigned under `with self._lock:` in the service/store/"
+        "metrics layers are never written outside the lock"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        return _scan(project)
+
+
+def _scan(project: Project) -> Iterator[Finding]:
+    for module in project.matching(policy.LOCK_TARGETS):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            scan = _ClassScan(node)
+            if not scan.guarded:
+                continue
+            for field_name, attr, method_name in scan.unguarded:
+                locks = scan.guarded.get(field_name)
+                if not locks:
+                    continue
+                lock_list = ", ".join(f"self.{name}" for name in sorted(locks))
+                yield Finding(
+                    rule="locks",
+                    path=module.relpath,
+                    line=attr.lineno,
+                    col=attr.col_offset,
+                    message=f"{node.name}.{method_name} writes self.{field_name} "
+                    f"outside `with {lock_list}:` although the field is "
+                    "lock-guarded elsewhere in the class; take the lock (or "
+                    "move the write into __init__)",
+                )

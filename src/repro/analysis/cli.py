@@ -1,0 +1,123 @@
+"""Command-line front end of the contract linter.
+
+Reached two ways, with identical semantics::
+
+    coopckpt lint [--rule determinism --rule fsops] [--json]
+    python -m repro.analysis [...]
+
+Exit codes follow the ``coopckpt`` convention: 0 clean, 1 findings,
+2 misconfiguration (bad ``--root``, unknown ``--rule``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.checkers.digest_drift import extract_digest_schema, write_manifest
+from repro.analysis.engine import BASELINE_PATH, run_lint, write_baseline
+from repro.analysis.base import Project
+from repro.errors import ConfigurationError
+
+__all__ = ["add_lint_arguments", "default_root", "main", "run_from_args"]
+
+_RULES = tuple(cls.rule for cls in ALL_CHECKERS)
+
+
+def default_root() -> Path:
+    """The source root this installed package was loaded from (``src/``)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by coopckpt and python -m)."""
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="source root to lint (default: the src/ tree this package lives in)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=_RULES,
+        default=None,
+        metavar="RULE",
+        help=f"run only this rule (repeatable; choices: {', '.join(_RULES)})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {BASELINE_PATH.name} next to the package)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--write-digest-manifest",
+        action="store_true",
+        help="regenerate digest_manifest.json from the code and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its contract description and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> tuple[str, int]:
+    """Execute a parsed lint invocation; returns (output, exit code)."""
+    if args.list_rules:
+        width = max(len(rule) for rule in _RULES)
+        lines = [f"{cls.rule:<{width}}  {cls.description}" for cls in ALL_CHECKERS]
+        return "\n".join(lines), 0
+
+    root = args.root or default_root()
+    if not root.is_dir():
+        raise ConfigurationError(f"--root {root} is not a directory")
+
+    if args.write_digest_manifest:
+        schema, problems = extract_digest_schema(Project.load(root))
+        if schema is None:
+            rendered = "\n".join(finding.render() for finding in problems)
+            return rendered or "cannot extract digest schema", 1
+        target = write_manifest(schema)
+        return f"wrote {target} (digest v{schema.version}, {len(schema.fields)} fields)", 0
+
+    report = run_lint(root, rules=args.rule, baseline_path=args.baseline)
+
+    if args.write_baseline:
+        keys = {finding.key for finding in report.findings}
+        target = write_baseline(keys, args.baseline)
+        return f"wrote {target} ({len(keys)} grandfathered findings)", 0
+
+    output = report.render_json() if args.json else report.render_text()
+    return output, report.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Contract linter: determinism, fsops, digest, lock and "
+        "registry discipline (same engine as `coopckpt lint`).",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        output, code = run_from_args(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(output)
+    return code

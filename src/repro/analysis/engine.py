@@ -1,0 +1,200 @@
+"""Lint engine: run checkers, apply pragmas and the baseline, render.
+
+The pipeline is::
+
+    Project.load(root)
+      → checker.check(project) for every selected checker
+      → pragma suppression   (# repro: allow[rule] reason, same/previous line)
+      → baseline suppression (committed JSON of finding keys; shrink-only)
+      → LintReport
+
+Two meta-rules ride along:
+
+* ``pragma`` — malformed pragmas (no reason) and pragmas that suppressed
+  nothing this run.  A suppression must never outlive its violation.
+* ``baseline`` — baseline entries that no finding matched.  The baseline
+  may only shrink: stale entries are errors, so the committed file
+  monotonically approaches (and on this repo, is) empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import Checker, Finding, Project
+from repro.analysis.checkers import make_checkers
+
+__all__ = ["LintReport", "Suppression", "load_baseline", "run_lint", "BASELINE_PATH"]
+
+#: The committed baseline, next to this module.  Empty on this repo — it
+#: exists so downstream forks can adopt the linter before fixing legacy
+#: findings, and so stale entries are caught mechanically.
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One finding silenced by a pragma or a baseline entry."""
+
+    finding: Finding
+    via: str  #: "pragma" or "baseline"
+    reason: str
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Suppression] = field(default_factory=list)
+    checked_modules: int = 0
+    rules: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} "
+            f"({len(self.suppressed)} suppressed) across "
+            f"{self.checked_modules} modules [rules: {', '.join(self.rules)}]"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                    "key": finding.key,
+                }
+                for finding in self.findings
+            ],
+            "suppressed": [
+                {
+                    "rule": item.finding.rule,
+                    "path": item.finding.path,
+                    "line": item.finding.line,
+                    "via": item.via,
+                    "reason": item.reason,
+                }
+                for item in self.suppressed
+            ],
+            "checked_modules": self.checked_modules,
+            "rules": list(self.rules),
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(payload, indent=2)
+
+
+def load_baseline(path: Path | None = None) -> set[str]:
+    """Finding keys grandfathered by the committed baseline."""
+    target = path or BASELINE_PATH
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(keys: set[str], path: Path | None = None) -> Path:
+    target = path or BASELINE_PATH
+    payload = {
+        "comment": (
+            "Grandfathered contract-lint findings (shrink-only: fixing a "
+            "finding MUST remove its entry; stale entries fail the lint). "
+            "Regenerate with `coopckpt lint --write-baseline`."
+        ),
+        "findings": sorted(keys),
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def run_lint(
+    root: str | Path,
+    *,
+    rules: list[str] | None = None,
+    baseline_path: Path | None = None,
+    checkers: list[Checker] | None = None,
+) -> LintReport:
+    """Run the contract linter over ``root`` and return the report."""
+    project = Project.load(root)
+    active = checkers if checkers is not None else make_checkers(rules)
+    report = LintReport(
+        checked_modules=len(project.modules),
+        rules=tuple(checker.rule for checker in active),
+    )
+    raw: list[Finding] = []
+    for checker in active:
+        raw.extend(checker.check(project))
+    # Load-time problems (syntax errors, malformed pragmas) are always-on:
+    # they are defects of the lint input itself, not of any one rule.
+    raw.extend(project.load_problems)
+
+    modules_by_path = {module.relpath: module for module in project.modules}
+    used_pragmas: set[tuple[str, int]] = set()
+    baseline = load_baseline(baseline_path)
+    matched_baseline: set[str] = set()
+
+    for finding in raw:
+        module = modules_by_path.get(finding.path)
+        pragma = (
+            module.pragma_for(finding.rule, finding.line)
+            if module is not None and finding.rule not in ("pragma", "parse")
+            else None
+        )
+        if pragma is not None:
+            used_pragmas.add((finding.path, pragma.line))
+            report.suppressed.append(
+                Suppression(finding=finding, via="pragma", reason=pragma.reason)
+            )
+            continue
+        if finding.key in baseline:
+            matched_baseline.add(finding.key)
+            report.suppressed.append(
+                Suppression(finding=finding, via="baseline", reason="grandfathered")
+            )
+            continue
+        report.findings.append(finding)
+
+    # Unused pragmas: a suppression whose violation is gone must go too.
+    for module in project.modules:
+        for pragma in module.pragmas:
+            if (module.relpath, pragma.line) not in used_pragmas:
+                report.findings.append(
+                    Finding(
+                        rule="pragma",
+                        path=module.relpath,
+                        line=pragma.line,
+                        col=0,
+                        message=f"unused pragma allow[{','.join(pragma.rules)}]: "
+                        "it suppresses nothing; remove it so suppressions "
+                        "never outlive their violation",
+                    )
+                )
+
+    # Stale baseline entries: the baseline may only shrink.
+    for key in sorted(baseline - matched_baseline):
+        report.findings.append(
+            Finding(
+                rule="baseline",
+                path=(baseline_path or BASELINE_PATH).name,
+                line=1,
+                col=0,
+                message=f"stale baseline entry (finding no longer occurs): {key}",
+            )
+        )
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return report

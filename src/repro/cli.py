@@ -494,6 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_argument(trace)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static contract checks: determinism, fsops, digest, lock and "
+        "registry discipline (also: python -m repro.analysis)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -1034,6 +1043,16 @@ def _cmd_trace_cell(args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    from repro.analysis.cli import run_from_args
+
+    output, code = run_from_args(args)
+    # main() returns this instead of 0, so `coopckpt lint` exits 1 on
+    # findings like any other linter (2 stays reserved for misconfiguration).
+    args._exit_code = code
+    return output
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "strategies": _cmd_strategies,
@@ -1048,6 +1067,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 
@@ -1072,7 +1092,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_default_kernel(kernel)
         output = _COMMANDS[args.command](args)
         print(output)
-        return 0
+        return getattr(args, "_exit_code", 0)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130

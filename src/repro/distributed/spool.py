@@ -160,7 +160,7 @@ class WorkSpool:
             raise ConfigurationError(f"spool path {self.root} exists and is not a directory")
         self.lease_ttl_s = float(lease_ttl_s)
         for name in _STATE_DIRS:
-            (self.root / name).mkdir(parents=True, exist_ok=True)
+            fsops.mkdir(self.root / name)
         #: Batches claimed through this handle: task id -> batch id.
         self._batches: dict[str, str] = {}
         self._adopt_layout()
@@ -376,7 +376,7 @@ class WorkSpool:
             for stale_state in ("done", "failed"):
                 stale = self._shard_path(stale_state, spec.task_id)
                 try:
-                    stale.unlink()
+                    fsops.unlink(stale, missing_ok=False)
                 except FileNotFoundError:
                     continue
                 except OSError:

@@ -140,6 +140,17 @@ def _family_label(spec: StrategySpec, display: str) -> str:
     return head
 
 
+def _float_param(value: object) -> float:
+    """Narrow an already-coerced spec parameter to ``float``.
+
+    ``StrategySpec`` construction runs every parameter through
+    :meth:`ParamSpec.coerce`, so a ``float``-typed parameter is numeric by
+    the time a factory reads it — the assert records that invariant.
+    """
+    assert isinstance(value, (int, float)), value
+    return float(value)
+
+
 def _family_factory(scheduler_cls: type[IOScheduler], display: str):
     """Factory for the built-in families: policy/period (+ Least-Waste bias)."""
 
@@ -147,14 +158,14 @@ def _family_factory(scheduler_cls: type[IOScheduler], display: str):
         period = spec.get("period_s")
         policy = make_policy(
             str(spec.get("policy", "daly")),
-            fixed_period_s=float(period) if period is not None else fixed_period_s,  # type: ignore[arg-type]
+            fixed_period_s=_float_param(period) if period is not None else fixed_period_s,
         )
         return Strategy(
             name=spec.canonical,
             scheduler_cls=scheduler_cls,
             policy=policy,
             label=_family_label(spec, display),
-            mtbf_bias=float(spec.get("mtbf_bias", 1.0)),  # type: ignore[arg-type]
+            mtbf_bias=_float_param(spec.get("mtbf_bias", 1.0)),
         )
 
     return build

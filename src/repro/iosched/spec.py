@@ -106,19 +106,19 @@ class ParamSpec:
                 else:
                     raise ValueError(value)
             elif self.type is float:
-                if isinstance(value, bool):
+                if isinstance(value, bool) or not isinstance(value, (int, float, str)):
                     raise ValueError(value)
-                coerced = float(value)  # type: ignore[arg-type]
+                coerced = float(value)
                 # Non-finite values would poison cache keys (and NaN breaks
                 # spec equality), so they are never valid parameters.
                 if not math.isfinite(coerced):
                     raise ValueError(value)
             elif self.type is int:
-                if isinstance(value, bool):
+                if isinstance(value, bool) or not isinstance(value, (int, float, str)):
                     raise ValueError(value)
                 if isinstance(value, float) and not value.is_integer():
                     raise ValueError(value)
-                coerced = int(value)  # type: ignore[arg-type]
+                coerced = int(value)
             else:
                 coerced = str(value).strip().lower()
         except (TypeError, ValueError):

@@ -17,6 +17,7 @@ machine.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, fields, replace
 
 from repro.apps.app_class import ApplicationClass
@@ -32,6 +33,23 @@ __all__ = ["Scenario", "PLATFORM_OVERRIDES"]
 #: Shorthand override keys applied to the scenario's platform (in this
 #: order) before any workload override is evaluated.
 PLATFORM_OVERRIDES: tuple[str, ...] = ("num_nodes", "bandwidth_gbs", "node_mtbf_years")
+
+
+def _int_override(key: str, value: object) -> int:
+    """Narrow an ``object`` override to ``int`` (loudly, not via TypeError)."""
+    if isinstance(value, (int, float, str)):
+        return int(value)
+    raise ConfigurationError(
+        f"override {key!r} must be an integer, got {type(value).__name__}"
+    )
+
+
+def _float_override(key: str, value: object) -> float:
+    if isinstance(value, (int, float, str)):
+        return float(value)
+    raise ConfigurationError(
+        f"override {key!r} must be a number, got {type(value).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -157,18 +175,34 @@ class Scenario:
 
         platform = self.platform
         if "num_nodes" in overrides:
-            platform = platform.with_num_nodes(int(overrides["num_nodes"]))  # type: ignore[arg-type]
+            platform = platform.with_num_nodes(_int_override("num_nodes", overrides["num_nodes"]))
         if "bandwidth_gbs" in overrides:
-            platform = platform.with_bandwidth(float(overrides["bandwidth_gbs"]) * GB)  # type: ignore[arg-type]
+            platform = platform.with_bandwidth(
+                _float_override("bandwidth_gbs", overrides["bandwidth_gbs"]) * GB
+            )
         if "node_mtbf_years" in overrides:
-            platform = platform.with_node_mtbf(float(overrides["node_mtbf_years"]) * YEAR)  # type: ignore[arg-type]
+            platform = platform.with_node_mtbf(
+                _float_override("node_mtbf_years", overrides["node_mtbf_years"]) * YEAR
+            )
         if "platform" in overrides:
-            platform = overrides["platform"]  # type: ignore[assignment]
+            replacement = overrides["platform"]
+            if not isinstance(replacement, PlatformSpec):
+                raise ConfigurationError(
+                    "override 'platform' must be a PlatformSpec, got "
+                    f"{type(replacement).__name__}"
+                )
+            platform = replacement
 
-        workload = overrides.get("workload", self.workload)
-        if callable(workload):
-            workload = workload(platform)
-        workload = tuple(workload)  # type: ignore[arg-type]
+        workload_override = overrides.get("workload", self.workload)
+        if callable(workload_override):
+            workload_override = workload_override(platform)
+        if not isinstance(workload_override, Iterable):
+            raise ConfigurationError(
+                "override 'workload' must be a sequence of application "
+                "classes (or a callable producing one), got "
+                f"{type(workload_override).__name__}"
+            )
+        workload = tuple(workload_override)
 
         direct = {
             key: value
@@ -176,13 +210,18 @@ class Scenario:
             if key in _FIELD_NAMES and key not in ("name", "platform", "workload")
         }
         if name is None:
-            name = overrides.get("name", self.name)  # type: ignore[assignment]
+            override_name = overrides.get("name", self.name)
+            if not isinstance(override_name, str):
+                raise ConfigurationError(
+                    f"override 'name' must be a string, got {type(override_name).__name__}"
+                )
+            name = override_name
         return replace(
             self,
             name=name,
             platform=platform,
             workload=workload,
-            **direct,  # type: ignore[arg-type]
+            **direct,
         )
 
     # ------------------------------------------------------------ reporting

@@ -475,7 +475,10 @@ class Simulation:
         owner = self.pool.owner_of(node_id)
         if owner is None:
             return
-        job: Job = owner  # type: ignore[assignment]
+        # The pool is owner-agnostic (object); this simulator only ever
+        # registers Job owners, so the assert records that invariant.
+        assert isinstance(owner, Job), owner
+        job = owner
         context = self._contexts.get(job.job_id)
         if context is None or job.finished:
             return

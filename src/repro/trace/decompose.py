@@ -314,7 +314,10 @@ def _stable_job_labels(sim: Simulation) -> list[tuple[int, str]]:
         ordered.append((job.job_id, label))
     for event in sim.trace.of_kind(TraceEventType.RESTART_SUBMITTED):
         parent = event.detail.get("parent")
-        label = labels.get(parent, "job#?") + "+r"  # type: ignore[arg-type]
+        # A malformed detail dict (no int parent) degrades to the "job#?"
+        # placeholder rather than mislabelling some unrelated job.
+        base = labels.get(parent, "job#?") if isinstance(parent, int) else "job#?"
+        label = base + "+r"
         labels[event.job_id] = label
         ordered.append((event.job_id, label))
     return ordered
